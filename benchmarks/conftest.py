@@ -1,0 +1,31 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one of the paper's tables/figures, prints
+the rows/series the paper reports (run with ``-s`` to see them live),
+asserts the paper's *shape* claims, and writes the rendered artifact to
+``results/``.  ``pytest benchmarks/ --benchmark-only`` runs everything.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print an artifact and persist it under results/<name>.txt."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

@@ -1,0 +1,101 @@
+"""Benchmarks: §4.3 application experiences.
+
+* SF-Express-style 13-machine co-allocation under machine failures:
+  atomic (GRAB) vs interactive (DUROC) strategies.
+* Restart cost vs startup time: "As startup and initialization of
+  large simulations on large parallel computers can take 15 minutes or
+  more, the cost inherent in such unnecessary restarts is tremendous."
+* The §2 motivating scenario and the microtomography run.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import apps
+
+
+def test_bench_sf_express_failure_sweep(benchmark, publish):
+    rows = benchmark.pedantic(
+        lambda: apps.sweep_failure_rate(
+            probabilities=(0.0, 0.1, 0.2, 0.3), seeds=(0, 1, 2)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("app_sf_express_sweep", apps.render_sweep(rows))
+
+    summary = {
+        (p, strategy): (success, time, attempts)
+        for p, strategy, success, time, attempts, _subs, _procs
+        in apps.summarize_sweep(rows)
+    }
+    # Without failures the strategies tie.
+    assert summary[(0.0, "atomic")][1] == pytest.approx(
+        summary[(0.0, "interactive")][1], rel=0.05
+    )
+    # Interactive always completes in a single transaction.
+    for p in (0.1, 0.2, 0.3):
+        assert summary[(p, "interactive")][2] == 1.0
+        assert summary[(p, "interactive")][0] == 1.0
+    # Atomic needs restarts, and they grow with the failure rate.
+    assert summary[(0.2, "atomic")][2] > summary[(0.1, "atomic")][2] > 1.0
+    # Interactive starts sooner whenever failures occur.
+    for p in (0.2, 0.3):
+        atomic_time = summary[(p, "atomic")][1]
+        interactive_time = summary[(p, "interactive")][1]
+        if not math.isnan(atomic_time):
+            assert interactive_time < atomic_time
+
+
+def test_bench_restart_cost(benchmark, publish):
+    rows = benchmark.pedantic(
+        lambda: apps.sweep_startup_cost(startup_times=(30.0, 120.0, 450.0, 900.0)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("app_restart_cost", apps.render_restart(rows))
+
+    for row in rows:
+        # Atomic restarts cost multiples of the interactive repair.
+        assert row.time_penalty > 1.5
+        # And throw away more started work.
+        assert row.atomic_waste > row.interactive_waste
+    # The absolute penalty grows linearly with startup cost ("tens of
+    # minutes" startups make restarts tremendous).
+    gaps = [r.atomic_time - r.interactive_time for r in rows]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > 10 * gaps[0] * (30.0 / 900.0)
+
+
+def test_bench_motivating_scenario(benchmark, publish):
+    result = benchmark.pedantic(apps.run_motivating, rounds=1, iterations=1)
+    lines = [
+        "§2 motivating scenario (400 processors on five machines)",
+        f"  success:        {result.success}",
+        f"  substitutions:  {result.substitutions} (crashed machine replaced)",
+        f"  dropped:        {result.dropped} (overloaded machine missed deadline)",
+        f"  processes:      {result.processes} of 400 (reduced fidelity)",
+        f"  time to start:  {result.time_to_start:.1f} s",
+    ] + [f"  log: {line}" for line in result.log]
+    publish("app_motivating", "\n".join(lines))
+
+    assert result.success
+    assert result.substitutions == 1
+    assert result.dropped == 1
+    assert result.processes == 320
+
+
+def test_bench_microtomography(benchmark, publish):
+    result = benchmark.pedantic(
+        apps.run_microtomography, rounds=1, iterations=1
+    )
+    lines = [
+        "Microtomography run (instrument + 5 computers + 2 displays)",
+        f"  released sizes:       {result.released_sizes}",
+        f"  displays joined late: {result.optional_joined_late}",
+    ]
+    publish("app_microtomography", "\n".join(lines))
+
+    assert result.released_sizes == (1, 16, 16, 16, 16, 16)
+    assert result.optional_joined_late == 2

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 2 — GRAM submission latency vs process count.
+
+Paper claim: "the cost of a GRAM submission is largely insensitive to
+the number of processes created" (16/32/64 processes, each ≈ 2 s range
+on the figure's axis).
+"""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(benchmark, publish):
+    rows = benchmark.pedantic(
+        lambda: fig2.run_fig2(process_counts=(16, 32, 64)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig2_gram_latency", fig2.render(rows))
+
+    latencies = [r.latency for r in rows]
+    # Flat in process count: < 10% spread between 16 and 64 processes.
+    assert max(latencies) / min(latencies) < 1.10
+    # Latency dominated by the Fig.-3 cost floor (auth+initgroups+misc).
+    for row in rows:
+        assert 1.2 < row.latency < 1.5

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 3 — breakdown of a single-process GRAM request.
+
+Paper rows: initgroups 0.7 s > authentication 0.5 s > misc 0.01 s >
+fork 0.001 s ("All other costs are an order of magnitude smaller").
+"""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, publish):
+    rows = benchmark.pedantic(fig3.run_fig3, rounds=1, iterations=1)
+    publish("fig3_gram_breakdown", fig3.render(rows))
+
+    by_name = {r.operation: r for r in rows}
+    for name, row in by_name.items():
+        assert row.latency == pytest.approx(row.paper_latency, rel=0.05), name
+    # Ordering and order-of-magnitude separation hold.
+    assert by_name["initgroups()"].latency > by_name["authentication"].latency
+    assert by_name["authentication"].latency > 10 * by_name["misc."].latency
+    assert by_name["misc."].latency > by_name["fork()"].latency

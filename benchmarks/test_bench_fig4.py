@@ -1,0 +1,61 @@
+"""Benchmark: Figure 4 — DUROC submission time vs subjob count.
+
+Paper claims: "co-allocation time is essentially independent of the
+number of processes but varies linearly with the number of subjobs";
+1 subjob ≈ 2 s and 25 subjobs ≈ 28 s, "44% less time ... than one
+would expect with zero concurrency"; the average barrier wait is
+approximately half the total job latency.
+"""
+
+import pytest
+
+from repro.experiments import fig4
+from repro.experiments.report import linear_fit
+
+
+def test_bench_fig4(benchmark, publish):
+    rows = benchmark.pedantic(
+        lambda: fig4.run_fig4(
+            subjob_counts=(1, 2, 4, 6, 8, 10, 12, 16, 20, 25)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig4_duroc_scaling", fig4.render(rows))
+
+    # Linear in subjob count, slope near the paper's ~1.08 s/subjob.
+    slope, _, r2 = linear_fit(
+        [r.subjobs for r in rows], [r.duroc_time for r in rows]
+    )
+    assert r2 > 0.999
+    assert 0.9 < slope < 1.5
+
+    # Anchors: 1 subjob ≈ 2 s (paper: 2 s); 25 subjobs ≈ 28 s (paper).
+    assert rows[0].duroc_time == pytest.approx(2.0, abs=0.3)
+    assert rows[-1].duroc_time == pytest.approx(28.0, rel=0.2)
+
+    # Pipelining beats zero concurrency by roughly the paper's 44%.
+    savings = fig4.pipelining_savings(rows)
+    assert 0.25 < savings < 0.55
+
+    # Avg barrier wait ≈ half the total at large M (§4.2 model).
+    last = rows[-1]
+    assert last.avg_barrier_wait == pytest.approx(last.duroc_time / 2, rel=0.2)
+
+
+def test_bench_fig4_process_insensitivity(benchmark, publish):
+    """The companion claim: time flat in total process count."""
+
+    def sweep():
+        return {
+            procs: fig4.measure_duroc(subjobs=8, total_processes=procs)[0]
+            for procs in (16, 32, 64, 128)
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["DUROC time at 8 subjobs vs total process count"] + [
+        f"  {procs:>4} processes: {t:.3f} s" for procs, t in times.items()
+    ]
+    publish("fig4_process_insensitivity", "\n".join(lines))
+    values = list(times.values())
+    assert max(values) - min(values) < 0.25  # 112 extra forks ≈ 0.1 s

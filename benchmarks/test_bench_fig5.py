@@ -1,0 +1,42 @@
+"""Benchmark: Figure 5 — timeline of a DUROC submission.
+
+Paper claims embodied in the figure: "the individual GRAM requests from
+which a DUROC request is constructed must be submitted sequentially",
+while fork/startup/barrier phases of earlier subjobs overlap later
+submissions; the job goes active at commit once the last subjob checks
+in.
+"""
+
+import pytest
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark, publish):
+    entries = benchmark.pedantic(
+        lambda: fig5.run_fig5(subjobs=3, total_processes=12),
+        rounds=1,
+        iterations=1,
+    )
+    publish("fig5_timeline", fig5.render(entries))
+
+    # GRAM requests are strictly sequential.
+    assert fig5.sequential_submission_holds(entries)
+
+    # But subjob 0's startup overlaps subjob 1's submission: pipelining.
+    submit1 = next(
+        e for e in entries if e.lane == "subjob1" and e.phase == "submit"
+    )
+    startup0 = next(
+        e for e in entries if e.lane == "subjob0" and e.phase == "startup"
+    )
+    assert startup0.start < submit1.end and submit1.start < startup0.end
+
+    # Everyone leaves the barrier at the same release instant.
+    release = next(e for e in entries if e.phase == "active").start
+    barrier_ends = [e.end for e in entries if e.phase == "barrier"]
+    assert all(end == pytest.approx(release, abs=1e-6) for end in barrier_ends)
+
+    # Earlier subjobs wait longer (the per-subjob block structure).
+    waits = {e.lane: e.end - e.start for e in entries if e.phase == "barrier"}
+    assert waits["subjob0"] > waits["subjob1"] > waits["subjob2"] >= 0.0

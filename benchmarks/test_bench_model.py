@@ -1,0 +1,34 @@
+"""Benchmark: §4.2's analytic barrier-wait model.
+
+Paper: "average process wait time ... ≈ kM/2 ... our observations
+verify that the average barrier wait is approximately one half the
+total job latency"; "the barrier times do exist in blocks, and the
+shortest wait time is always zero (with 10 ms resolution)".
+"""
+
+import pytest
+
+from repro.experiments import model
+
+
+def test_bench_model(benchmark, publish):
+    rows = benchmark.pedantic(
+        lambda: model.run_model(subjob_counts=(2, 4, 8, 16, 25)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("model_barrier_wait", model.render(rows))
+
+    for row in rows:
+        # Shortest wait always ~zero.
+        assert row.min_wait == pytest.approx(0.0, abs=0.05)
+        # Waits occur in per-subjob blocks.
+        assert row.block_structured
+    # Avg wait converges to total/2 as M grows (model ignores the
+    # constant overlapped tail, so small M undershoots).
+    large = [r for r in rows if r.subjobs >= 8]
+    for row in large:
+        assert row.avg_wait == pytest.approx(row.predicted_wait, rel=0.25)
+    # Convergence is monotone: the ratio approaches 1 with M.
+    ratios = [r.avg_wait / r.predicted_wait for r in rows]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,72 @@
+"""Benchmark: MPICH-G startup through DUROC (§4.3).
+
+"The Grid-enabled MPICH-G implementation of MPI uses DUROC to start the
+elements of an MPI job ... all DUROC calls are hidden in the MPI
+library"; with interactive subjobs "we can reconfigure the MPI job at
+startup to overcome resource failure."
+"""
+
+from repro.core import SubjobType
+from repro.experiments.report import format_table
+from repro.gridenv import GridBuilder
+from repro.mpi import mpiexec
+
+
+def _launch(machines: int, per_machine: int, crash_one: bool):
+    grid = GridBuilder(seed=17).add_machines(
+        "RM", count=machines, nodes=128
+    ).build()
+    if crash_one:
+        grid.site(f"RM{machines}").crash()
+    ranks = []
+
+    def main(ctx, comm):
+        total = yield from comm.allreduce(1)
+        ranks.append((comm.rank, total))
+
+    def agent(env):
+        run = yield from mpiexec(
+            grid,
+            [(grid.site(f"RM{i}").contact, per_machine)
+             for i in range(1, machines + 1)],
+            main,
+            duroc=grid.duroc(submit_timeout=5.0),
+            subjob_type=SubjobType.INTERACTIVE,
+        )
+        return run
+
+    run = grid.run(grid.process(agent(grid.env)))
+    grid.run()
+    return run, ranks
+
+
+def test_bench_mpi_startup(benchmark, publish):
+    def scenario():
+        healthy = _launch(machines=4, per_machine=8, crash_one=False)
+        degraded = _launch(machines=4, per_machine=8, crash_one=True)
+        return healthy, degraded
+
+    (healthy, degraded) = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    run_h, ranks_h = healthy
+    run_d, ranks_d = degraded
+
+    publish(
+        "app_mpi_startup",
+        format_table(
+            headers=("scenario", "machines", "world size", "allreduce agrees"),
+            rows=[
+                ("healthy", 4, run_h.world_size,
+                 "yes" if all(t == run_h.world_size for _, t in ranks_h) else "NO"),
+                ("one machine dead", 3, run_d.world_size,
+                 "yes" if all(t == run_d.world_size for _, t in ranks_d) else "NO"),
+            ],
+            title="MPICH-G-style startup through DUROC",
+        ),
+    )
+
+    assert run_h.world_size == 32
+    assert sorted(r for r, _ in ranks_h) == list(range(32))
+    # The degraded run reconfigured around the dead machine at startup.
+    assert run_d.world_size == 24
+    assert sorted(r for r, _ in ranks_d) == list(range(24))
+    assert all(total == 24 for _, total in ranks_d)

@@ -1,0 +1,36 @@
+"""Benchmark: §4.2 — barrier cost vs queue and startup delays.
+
+Paper: "barrier synchronization costs are negligible in the wide-area
+compared to local startup delays introduced both by GRAM and by local
+scheduler queues (remember that the above experiments were with
+fork-based job starts, impossible on most production parallel
+machines)."
+"""
+
+from repro.experiments import queues
+
+
+def test_bench_queue_decomposition(benchmark, publish):
+    rows = benchmark.pedantic(
+        lambda: queues.run_queue_experiment(seeds=(0, 1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("queue_decomposition", queues.render(rows))
+
+    by_scenario = {r.scenario: r for r in rows}
+    fork = by_scenario["fork"]
+    queued = by_scenario["queued"]
+
+    # Pure barrier synchronization is negligible everywhere (< 50 ms).
+    assert fork.sync < 0.05
+    assert queued.sync < 0.05
+    # Fork mode has no queue waits; skew there is the Fig. 4/5
+    # submission stagger (same order as the serialized submissions).
+    assert fork.queue == 0.0
+    assert 0.0 < fork.skew < 2 * fork.submission
+    # On loaded batch machines, queue waits dwarf every protocol cost.
+    assert queued.queue > 20 * fork.total
+    assert queued.queue > 50 * (fork.skew + fork.submission)
+    # And the check-in skew there is queue mismatch, not protocol cost.
+    assert queued.skew > 10 * fork.skew

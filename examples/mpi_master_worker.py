@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""MPI across machines, started through DUROC — the MPICH-G pattern.
+
+The application below is plain message-passing code: it sees a
+communicator with ranks and collectives and contains **no DUROC
+calls** — "all DUROC calls are hidden in the MPI library".  The
+launcher co-allocates three machines; because the subjobs are marked
+interactive, the same program also starts when one machine is dead,
+reconfiguring "the MPI job at startup to overcome resource failure".
+
+The computation: a master/worker estimation of π by numerical
+integration, with the work scattered by rank and reduced back.
+
+Run:  python examples/mpi_master_worker.py
+"""
+
+from repro.core import SubjobType
+from repro.gridenv import GridBuilder
+from repro.mpi import mpiexec
+
+INTERVALS = 100_000
+
+
+def pi_main(ctx, comm):
+    """Plain MPI-style program: no co-allocation code anywhere."""
+    # Every rank integrates its slice of 4/(1+x^2) on [0, 1].
+    h = 1.0 / INTERVALS
+    local = 0.0
+    for i in range(comm.rank, INTERVALS, comm.size):
+        x = h * (i + 0.5)
+        local += 4.0 / (1.0 + x * x)
+    local *= h
+
+    pi = yield from comm.allreduce(local)
+    names = yield from comm.gather(ctx.machine.name)
+    if comm.rank == 0:
+        import math
+
+        print(f"  world size {comm.size}, machines used: "
+              f"{sorted(set(names))}")
+        print(f"  pi ≈ {pi:.10f}   (error {abs(pi - math.pi):.2e})")
+    return pi
+
+
+def launch(grid, crash_last: bool) -> None:
+    label = "one machine dead" if crash_last else "all machines healthy"
+    print(f"\n=== {label} ===")
+    if crash_last:
+        grid.site("RM3").crash()
+
+    def agent(env):
+        run = yield from mpiexec(
+            grid,
+            layout=[(grid.site(f"RM{i}").contact, 4) for i in (1, 2, 3)],
+            main=pi_main,
+            duroc=grid.duroc(submit_timeout=5.0),
+            subjob_type=SubjobType.INTERACTIVE,
+        )
+        print(f"  released at t={run.result.released_at:.2f}s "
+              f"with subjob sizes {run.sizes}")
+        return run
+
+    grid.run(grid.process(agent(grid.env)))
+    grid.run()  # let the application itself finish
+
+
+def main() -> None:
+    launch(
+        GridBuilder(seed=1).add_machines("RM", 3, nodes=32).build(),
+        crash_last=False,
+    )
+    launch(
+        GridBuilder(seed=2).add_machines("RM", 3, nodes=32).build(),
+        crash_last=True,
+    )
+
+
+if __name__ == "__main__":
+    main()

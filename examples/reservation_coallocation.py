@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Advance co-reservation on busy machines (§2.2 / §5 extension).
+
+Two space-shared machines carry other users' background load; a
+computation wants 32 nodes on *each*, simultaneously.
+
+* Best-effort: each subjob queues independently; whichever machine
+  frees first holds its nodes idle at the barrier until the other
+  catches up.
+* Co-reservation: forecast both queues, book a common window, start
+  together with zero idle barrier time — the paper's §5 direction.
+
+Run:  python examples/reservation_coallocation.py
+"""
+
+from repro.experiments.reservations import (
+    render,
+    run_once,
+    run_reservation_experiment,
+)
+
+
+def main() -> None:
+    print("One realization, narrated:\n")
+    for strategy in ("best-effort", "reservation"):
+        row = run_once(strategy, seed=0)
+        idle = row.barrier_idle_node_seconds
+        print(f"  {strategy:>12}: released {row.released_at:7.1f}s after "
+              f"submission, {idle:9.1f} node-seconds held idle at the barrier")
+
+    print("\nAveraged over seeds:\n")
+    rows = run_reservation_experiment(seeds=(0, 1, 2))
+    print(render(rows))
+    print(
+        "\nReservations trade a conservative (forecast-based) start time "
+        "for a guaranteed simultaneous start and zero wasted node-time."
+    )
+
+
+if __name__ == "__main__":
+    main()

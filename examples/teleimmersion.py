@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Co-allocating computers AND network elements.
+
+The paper opens with applications needing "several computers and
+network elements ... in order to achieve real-time reconstruction of
+experimental data" — its §2 defines resources to include networks and
+display devices.  This example assembles such an ensemble through the
+ordinary DUROC mechanisms:
+
+* a required instrument subjob (the X-ray source),
+* a required reconstruction cluster subjob (32 processes),
+* a required *network element*: 600 Mb/s from the beamline to the
+  cluster, granted by a bandwidth broker and pinned by a QoS agent
+  that participates in the two-phase commit like any other subjob,
+* two optional display stations that join as they become active.
+
+A competing transfer then hogs the link, and the same request is
+retried: the network element reports failure at the barrier and the
+interactive handler downgrades the flow to 200 Mb/s — application-
+defined failure handling across heterogeneous resources.
+
+Run:  python examples/teleimmersion.py
+"""
+
+from repro.core import CoAllocationRequest, SubjobSpec, SubjobType, make_program
+from repro.gridenv import GridBuilder
+from repro.netqos import (
+    BandwidthBroker,
+    FlowSpec,
+    PARAM_BANDWIDTH,
+    PARAM_DST,
+    PARAM_SRC,
+    make_qos_agent,
+)
+
+
+def build_world():
+    grid = (
+        GridBuilder(seed=99)
+        .add_machine("beamline", nodes=1)
+        .add_machine("cluster", nodes=64)
+        .add_machine("display-east", nodes=1)
+        .add_machine("display-west", nodes=1)
+        .build()
+    )
+    grid.programs["instrument"] = make_program(startup=1.0, runtime=20.0)
+    grid.programs["reconstruct"] = make_program(startup=2.0, runtime=20.0)
+    grid.programs["viewer"] = make_program(startup=4.0, runtime=20.0)
+
+    broker = BandwidthBroker(grid.env)
+    broker.add_link("beamline", "cluster", capacity=1000.0)
+    grid.programs["qos_agent"] = make_qos_agent(broker)
+    return grid, broker
+
+
+def request_for(grid, bandwidth):
+    return CoAllocationRequest(
+        [
+            SubjobSpec(contact=grid.site("beamline").contact, count=1,
+                       executable="instrument"),
+            SubjobSpec(contact=grid.site("cluster").contact, count=32,
+                       executable="reconstruct"),
+            SubjobSpec(
+                contact=grid.site("cluster").contact, count=1,
+                executable="qos_agent",
+                start_type=SubjobType.INTERACTIVE,
+                environment={
+                    PARAM_SRC: "beamline",
+                    PARAM_DST: "cluster",
+                    PARAM_BANDWIDTH: bandwidth,
+                    "qos.hold": 20.0,
+                },
+            ),
+            SubjobSpec(contact=grid.site("display-east").contact, count=1,
+                       executable="viewer", start_type=SubjobType.OPTIONAL),
+            SubjobSpec(contact=grid.site("display-west").contact, count=1,
+                       executable="viewer", start_type=SubjobType.OPTIONAL),
+        ]
+    )
+
+
+def run_session(grid, broker, label, bandwidth):
+    print(f"=== {label} ===")
+    duroc = grid.duroc()
+    downgrades = []
+
+    def agent(env):
+        job = duroc.submit(request_for(grid, bandwidth))
+
+        def handler(job, slot, notification):
+            new_bw = float(slot.spec.environment[PARAM_BANDWIDTH]) / 3
+            print(f"  t={env.now:5.1f}s  network element failed "
+                  f"({notification.detail}); downgrading to {new_bw:g} Mb/s")
+            spec = SubjobSpec(
+                contact=slot.spec.contact, count=1, executable="qos_agent",
+                start_type=SubjobType.INTERACTIVE,
+                environment=dict(slot.spec.environment,
+                                 **{PARAM_BANDWIDTH: new_bw}),
+            )
+            job.substitute(slot, spec)
+            downgrades.append(new_bw)
+
+        job.set_interactive_handler(handler)
+        result = yield from job.commit()
+        free = broker.available("beamline", "cluster")
+        print(f"  t={env.now:5.1f}s  released: subjob sizes {result.sizes}; "
+              f"link now has {free:g} Mb/s free")
+        return result
+
+    grid.run(grid.process(agent(grid.env)))
+    grid.run()
+    print()
+    return downgrades
+
+
+def main() -> None:
+    grid, broker = build_world()
+    run_session(grid, broker, "clean link, 600 Mb/s requested", 600.0)
+
+    # A competing bulk transfer grabs most of the link.
+    competing = broker.allocate(FlowSpec("beamline", "cluster", 900.0))
+    downgrades = run_session(
+        grid, broker, "congested link (900 Mb/s in use), 600 Mb/s requested",
+        600.0,
+    )
+    competing.release()
+    print(f"downgrades performed: {downgrades}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Local scheduling policy study under a realistic workload.
+
+§2.2's strategies (forecasts, reservations) all sit on top of *local*
+scheduler behaviour.  This example generates one day of synthetic
+batch load — power-of-two-biased sizes, lognormal runtimes, a day/night
+arrival cycle, overestimated user runtimes — and replays the identical
+trace through the three space-sharing policies:
+
+* strict FCFS,
+* EASY backfill (what production machines of the era adopted),
+* the reservation-capable scheduler with a co-allocation window booked
+  mid-day (showing what a §5 reservation costs the local queue).
+
+Run:  python examples/workload_study.py
+"""
+
+from repro.gridenv import GridBuilder
+from repro.workloads import TraceReplayer, WorkloadModel
+
+NODES = 64
+HORIZON = 43_200.0  # half a simulated day of arrivals
+MODEL = WorkloadModel(
+    max_nodes=NODES,
+    peak_interarrival=110.0,
+    night_factor=3.0,
+)
+
+
+def run_policy(policy: str, book_window: bool = False):
+    grid = (
+        GridBuilder(seed=2026)
+        .add_machine("m", nodes=NODES, scheduler=policy)
+        .build()
+    )
+    jobs = list(MODEL.generate(grid.rngs.stream("trace"), horizon=HORIZON))
+    replayer = TraceReplayer(grid.site("m"), jobs)
+    if book_window:
+        # A co-allocator books half the machine for 30 min at noon.
+        grid.site("m").scheduler.reserve(
+            count=NODES // 2, start=HORIZON / 2, duration=1800.0
+        )
+    grid.run(until=HORIZON * 4)  # generous drain
+    return jobs, replayer.stats
+
+
+def main() -> None:
+    print(f"Workload: {NODES}-node machine, "
+          f"{HORIZON / 3600:.0f} h of arrivals, day/night cycle\n")
+
+    rows = []
+    jobs, fcfs = run_policy("fcfs")
+    rows.append(("FCFS", fcfs))
+    _, easy = run_policy("backfill")
+    rows.append(("EASY backfill", easy))
+    _, resv = run_policy("reservation", book_window=True)
+    rows.append(("FCFS + booked co-allocation window", resv))
+
+    total_nodes = sum(j.nodes for j in jobs)
+    print(f"trace: {len(jobs)} jobs, {total_nodes} node-requests, "
+          f"median runtime "
+          f"{sorted(j.runtime for j in jobs)[len(jobs) // 2]:.0f}s\n")
+
+    print(f"{'policy':<36} {'completed':>9} {'mean wait':>10} {'p95 wait':>10}")
+    for name, stats in rows:
+        print(f"{name:<36} {stats.completed:>9} "
+              f"{stats.mean_wait:>9.0f}s {stats.p95_wait:>9.0f}s")
+
+    speedup = (
+        rows[0][1].mean_wait / rows[1][1].mean_wait
+        if rows[1][1].mean_wait else float("inf")
+    )
+    print(f"\nbackfill cuts the mean wait {speedup:.1f}x on this trace; "
+          "the booked window adds modest queue delay —\n"
+          "the local price of a guaranteed §5 co-allocation start.")
+
+
+if __name__ == "__main__":
+    main()

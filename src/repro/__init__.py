@@ -1,0 +1,57 @@
+"""repro — reproduction of *Resource Co-Allocation in Computational Grids*.
+
+Czajkowski, Foster, Kesselman (HPDC 1999).
+
+The package implements the paper's full stack on a deterministic
+discrete-event simulator:
+
+* :mod:`repro.simcore` — the simulation kernel;
+* :mod:`repro.net` / :mod:`repro.gsi` / :mod:`repro.rsl` — network,
+  security, and request-language substrates;
+* :mod:`repro.machine` / :mod:`repro.schedulers` / :mod:`repro.gram` —
+  compute resources and GRAM-style local resource managers;
+* :mod:`repro.core` — the paper's contribution: the DUROC interactive
+  co-allocator and the GRAB atomic co-allocator, the two-phase-commit
+  barrier, configuration, and monitoring/control mechanisms;
+* :mod:`repro.mpi` — an MPICH-G-like layer bootstrapped via the
+  configuration mechanisms;
+* :mod:`repro.mds` / :mod:`repro.broker` / :mod:`repro.workloads` —
+  information service, co-allocation agents, and scenario generators;
+* :mod:`repro.experiments` — harnesses regenerating every figure and
+  table of the paper's evaluation.
+
+The top-level namespace re-exports the most common entry points lazily
+so that ``import repro.simcore`` does not pull in the whole stack.
+"""
+
+from repro._version import __version__
+
+__all__ = [
+    "CoAllocationRequest",
+    "Grid",
+    "GridBuilder",
+    "SubjobSpec",
+    "SubjobType",
+    "__version__",
+]
+
+_LAZY = {
+    "CoAllocationRequest": ("repro.core.request", "CoAllocationRequest"),
+    "SubjobSpec": ("repro.core.request", "SubjobSpec"),
+    "SubjobType": ("repro.core.request", "SubjobType"),
+    "Grid": ("repro.gridenv", "Grid"),
+    "GridBuilder": ("repro.gridenv", "GridBuilder"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,126 @@
+"""Alternative-based co-allocation from RSL disjunctions.
+
+RSL's ``|`` operator lets a request express *alternatives* for a
+subjob:
+
+    +(&(resourceManagerContact=RM1)(count=1)(executable=master))
+     (|(&(resourceManagerContact=RM2)(count=4)(executable=worker))
+       (&(resourceManagerContact=RM3)(count=4)(executable=worker)))
+
+The broker resolves each disjunction: the first alternative is
+submitted (as an interactive subjob), and on failure or timeout the
+next alternative is substituted — a declarative form of the paper's
+"replace slow or failed elements of a request if an alternative
+resource can be found".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Generator, Sequence
+
+from repro.broker.base import AgentOutcome
+from repro.core.coallocator import Duroc, DurocJob, SubjobSlot
+from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
+from repro.errors import AllocationAborted, RSLValidationError
+from repro.rsl.ast import Conjunction, Disjunction, MultiRequest, Specification
+from repro.rsl.parser import parse_multirequest
+
+
+def expand_alternatives(spec: Specification) -> list[SubjobSpec]:
+    """One multirequest branch → its ordered list of alternatives."""
+    if isinstance(spec, Disjunction):
+        alternatives = []
+        for child in spec.children:
+            if not isinstance(child, Conjunction):
+                raise RSLValidationError(
+                    "disjunction alternatives must be conjunctions"
+                )
+            alternatives.append(SubjobSpec.from_rsl(child))
+        if not alternatives:
+            raise RSLValidationError("empty disjunction")
+        return alternatives
+    if isinstance(spec, Conjunction):
+        return [SubjobSpec.from_rsl(spec)]
+    raise RSLValidationError(
+        f"multirequest branch must be & or |, got {type(spec).__name__}"
+    )
+
+
+def parse_alternatives(rsl: "str | MultiRequest") -> list[list[SubjobSpec]]:
+    """Full multirequest → per-subjob alternative lists."""
+    multi = parse_multirequest(rsl) if isinstance(rsl, str) else rsl
+    if not multi.children:
+        raise RSLValidationError("empty multirequest")
+    return [expand_alternatives(branch) for branch in multi.children]
+
+
+class AlternativesAgent:
+    """Submit first choices; walk down the alternative lists on failure."""
+
+    def __init__(self, duroc: Duroc) -> None:
+        self.duroc = duroc
+
+    def allocate(self, rsl: "str | MultiRequest | Sequence[Sequence[SubjobSpec]]",
+                 ) -> Generator:
+        """Generator: resolve alternatives; returns AgentOutcome."""
+        if isinstance(rsl, (str, MultiRequest)):
+            choice_lists = parse_alternatives(rsl)
+        else:
+            choice_lists = [list(alternatives) for alternatives in rsl]
+            if not choice_lists or any(not alts for alts in choice_lists):
+                raise RSLValidationError("every subjob needs ≥1 alternative")
+
+        env = self.duroc.env
+        started = env.now
+        outcome = AgentOutcome(success=False)
+
+        # Branches with alternatives become interactive so failure
+        # triggers substitution; single-choice branches keep their type.
+        first_choices = []
+        for alternatives in choice_lists:
+            spec = alternatives[0]
+            if len(alternatives) > 1 and spec.start_type is SubjobType.REQUIRED:
+                spec = replace(spec, start_type=SubjobType.INTERACTIVE)
+            first_choices.append(spec)
+
+        #: slot-id → (branch index, next alternative index).
+        cursor: dict[int, tuple[int, int]] = {}
+        job = self.duroc.submit(CoAllocationRequest(first_choices))
+        for branch, slot in enumerate(job.slots):
+            cursor[slot.slot_id] = (branch, 1)
+
+        def handler(job: DurocJob, slot: SubjobSlot, notification) -> None:
+            branch, next_idx = cursor[slot.slot_id]
+            alternatives = choice_lists[branch]
+            if next_idx >= len(alternatives):
+                outcome.dropped += 1
+                outcome.log.append(
+                    f"branch {branch}: alternatives exhausted "
+                    f"after {slot.spec.contact}"
+                )
+                return
+            spec = alternatives[next_idx]
+            if (
+                next_idx + 1 <= len(alternatives)
+                and spec.start_type is SubjobType.REQUIRED
+            ):
+                spec = replace(spec, start_type=SubjobType.INTERACTIVE)
+            new_slot = job.substitute(slot, spec)
+            cursor[new_slot.slot_id] = (branch, next_idx + 1)
+            outcome.substitutions += 1
+            outcome.log.append(
+                f"branch {branch}: {slot.spec.contact} -> {spec.contact}"
+            )
+
+        job.set_interactive_handler(handler)
+        try:
+            result = yield from job.commit()
+        except AllocationAborted as exc:
+            outcome.failure = str(exc)
+            outcome.elapsed = env.now - started
+            return outcome
+        outcome.success = True
+        outcome.result = result
+        outcome.elapsed = env.now - started
+        return outcome

@@ -1,0 +1,107 @@
+"""Atomic (GRAB-style) strategy with resubmission.
+
+"The only way of dealing with a request failure is to formulate and
+resubmit a revised co-allocation request, based on more current
+information" (§3.2).  This agent retries the whole transaction after
+each abort, optionally replacing the site blamed for the failure with a
+fresh candidate from the information service — the best an atomic
+co-allocator can do, and the baseline the application experiments
+compare DUROC against.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.broker.base import AgentOutcome
+from repro.core.atomic import Grab
+from repro.core.request import CoAllocationRequest
+from repro.errors import AllocationAborted
+from repro.mds.directory import Directory
+
+
+class AtomicAgent:
+    """Submit atomically; on failure, restart from scratch."""
+
+    def __init__(
+        self,
+        grab: Grab,
+        max_attempts: int = 3,
+        directory: Optional[Directory] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.grab = grab
+        self.max_attempts = max_attempts
+        self.directory = directory
+
+    def allocate(self, request: CoAllocationRequest) -> Generator:
+        """Generator: run the atomic strategy; returns AgentOutcome."""
+        env = self.grab.env
+        started = env.now
+        outcome = AgentOutcome(success=False)
+        current = CoAllocationRequest(list(request))
+        blamed: set[str] = set()
+
+        for attempt in range(1, self.max_attempts + 1):
+            outcome.attempts = attempt
+            try:
+                result = yield from self.grab.allocate(current)
+            except AllocationAborted as exc:
+                reason = str(exc)
+                outcome.log.append(f"attempt {attempt} aborted: {reason}")
+                current = self._revise(current, reason, blamed, outcome)
+                if current is None:
+                    outcome.failure = f"no replacement candidates: {reason}"
+                    break
+                continue
+            outcome.success = True
+            outcome.result = result
+            break
+        else:
+            outcome.failure = outcome.failure or "attempt limit exceeded"
+
+        if not outcome.success and outcome.failure is None:
+            outcome.failure = outcome.log[-1] if outcome.log else "failed"
+        outcome.elapsed = env.now - started
+        return outcome
+
+    def _revise(
+        self,
+        request: CoAllocationRequest,
+        reason: str,
+        blamed: set[str],
+        outcome: AgentOutcome,
+    ) -> Optional[CoAllocationRequest]:
+        """Build the resubmission, replacing the site named in ``reason``."""
+        failed_idx = self._parse_failed_index(reason, request)
+        if failed_idx is None or self.directory is None:
+            return CoAllocationRequest(list(request))  # plain retry
+        spec = request[failed_idx]
+        site_name = spec.contact.split(":")[0]
+        blamed.add(site_name)
+        candidates = self.directory.select(
+            spec.count, k=1, max_time=spec.max_time,
+            exclude=blamed | {s.contact.split(":")[0] for s in request},
+        )
+        if not candidates:
+            return None
+        replacement_contact = self.directory.lookup(candidates[0]).contact
+        revised = CoAllocationRequest(list(request))
+        revised.substitute(failed_idx, spec.retarget(replacement_contact))
+        outcome.substitutions += 1
+        outcome.log.append(
+            f"replaced {spec.contact} with {replacement_contact}"
+        )
+        return revised
+
+    @staticmethod
+    def _parse_failed_index(reason: str, request: CoAllocationRequest):
+        """Extract the failed subjob index from an abort reason."""
+        # Abort reasons look like "required subjob 3 failed: ...".
+        for token in reason.replace(":", " ").split():
+            if token.isdigit():
+                idx = int(token)
+                if 0 <= idx < len(request):
+                    return idx
+        return None

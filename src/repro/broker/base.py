@@ -1,0 +1,41 @@
+"""Co-allocation agents.
+
+The top layer of the paper's architecture: "co-allocation agents use
+co-allocation mechanisms to implement application-specific strategies
+for the collective allocation, configuration, and monitoring/control of
+ensembles of resources."
+
+Each agent's :meth:`allocate` is a generator returning an
+:class:`AgentOutcome`; concrete strategies live in the sibling modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.coallocator import DurocResult
+
+
+@dataclass
+class AgentOutcome:
+    """What an allocation strategy achieved, and what it cost."""
+
+    success: bool
+    result: Optional[DurocResult] = None
+    #: Number of complete request submissions (1 = no restarts).
+    attempts: int = 1
+    #: Number of subjob-level substitutions performed.
+    substitutions: int = 0
+    #: Subjobs dropped from the ensemble (interactive failures).
+    dropped: int = 0
+    #: Wall-clock (simulated) from first submission to release/abandon.
+    elapsed: float = 0.0
+    #: Terminal failure description when success is False.
+    failure: Optional[str] = None
+    #: Per-attempt diagnostic log.
+    log: list[str] = field(default_factory=list)
+
+    @property
+    def started_processes(self) -> int:
+        return self.result.total_processes if self.result else 0

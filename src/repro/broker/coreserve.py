@@ -1,0 +1,126 @@
+"""Co-reservation agent (§2.2 / §5 extension).
+
+"We believe that some form of advance reservation will ultimately be
+required.  We are currently investigating how the current resource
+management architecture can be extended to include reservation, and how
+the co-allocation approaches presented in this paper can be applied to
+co-reservation as well as co-allocation."
+
+This agent implements that extension on the simulated testbed: it asks
+the information service for each site's predicted wait, picks the
+earliest *common* start time, obtains an advance reservation from every
+site's :class:`~repro.schedulers.reservation.ReservationScheduler`, and
+then runs an ordinary DUROC co-allocation whose subjobs are bound to
+those reservations — guaranteeing a simultaneous start that best-effort
+queueing cannot.  The reservation negotiation itself is modeled as a
+direct scheduler call (the wire protocol is [13]'s subject, not this
+paper's).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.broker.base import AgentOutcome
+from repro.core.coallocator import Duroc
+from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
+from repro.errors import AllocationAborted, ReservationError
+from repro.gram.site import Site
+from repro.schedulers.reservation import Reservation, ReservationScheduler
+
+
+class CoReservationAgent:
+    """Reserve a common window on every site, then co-allocate into it."""
+
+    def __init__(
+        self,
+        duroc: Duroc,
+        margin: float = 10.0,
+        window_slack: float = 1.5,
+    ) -> None:
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        if window_slack < 1.0:
+            raise ValueError("window_slack must be >= 1")
+        self.duroc = duroc
+        #: Seconds added past the worst predicted wait, absorbing
+        #: prediction error and co-allocation startup overhead.
+        self.margin = margin
+        #: Reservation window length as a multiple of the job duration.
+        self.window_slack = window_slack
+
+    def allocate(
+        self,
+        layout: Sequence[tuple[Site, int]],
+        duration: float,
+        executable: str,
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Generator: co-reserve and launch; returns AgentOutcome.
+
+        ``layout`` is [(site, count), ...]; every site must run a
+        reservation-capable scheduler.
+        """
+        env = self.duroc.env
+        started = env.now
+        outcome = AgentOutcome(success=False)
+
+        for site, _count in layout:
+            if not isinstance(site.scheduler, ReservationScheduler):
+                raise ReservationError(
+                    f"site {site.name!r} runs {site.scheduler.policy!r}, "
+                    "which cannot grant advance reservations"
+                )
+
+        # Earliest common start: every site must be predicted free.
+        waits = [
+            site.scheduler.estimate_wait(count) for site, count in layout
+        ]
+        start = env.now + max(waits) + self.margin
+        window = duration * self.window_slack
+
+        reservations: list[tuple[Site, Reservation]] = []
+        try:
+            for site, count in layout:
+                resv = site.scheduler.reserve(count, start, window)
+                reservations.append((site, resv))
+        except ReservationError as exc:
+            for site, resv in reservations:
+                site.scheduler.cancel_reservation(resv.resv_id)
+            outcome.failure = f"co-reservation failed: {exc}"
+            outcome.elapsed = env.now - started
+            return outcome
+        outcome.log.append(
+            f"reserved common window start={start:.1f} length={window:.1f}"
+        )
+
+        request = CoAllocationRequest(
+            [
+                SubjobSpec(
+                    contact=site.contact,
+                    count=count,
+                    executable=executable,
+                    start_type=SubjobType.REQUIRED,
+                    timeout=timeout or (start - env.now) + window,
+                    max_time=duration,
+                    reservation_id=resv.resv_id,
+                )
+                for (site, count), (_, resv) in zip(layout, reservations)
+            ]
+        )
+        job = self.duroc.submit(request)
+        try:
+            result = yield from job.commit()
+        except AllocationAborted as exc:
+            for site, resv in reservations:
+                try:
+                    site.scheduler.cancel_reservation(resv.resv_id)
+                except ReservationError:
+                    pass  # consumed or expired
+            outcome.failure = str(exc)
+            outcome.elapsed = env.now - started
+            return outcome
+        outcome.success = True
+        outcome.result = result
+        outcome.elapsed = env.now - started
+        return outcome

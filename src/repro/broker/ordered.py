@@ -1,0 +1,64 @@
+"""Ordered acquisition strategy.
+
+§3.2: "the order of resource acquisition can be controlled via
+interactive modification of the resource specification: for example
+acquiring all required resources first and then adding interactive
+resources to the set" — which bounds the cost of failure: if a required
+resource is unavailable, the application learns before any interactive
+resource has been touched.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.broker.base import AgentOutcome
+from repro.core.coallocator import Duroc
+from repro.core.request import CoAllocationRequest, SubjobType
+from repro.core.states import SubjobState
+from repro.errors import AllocationAborted
+
+
+class OrderedAcquisitionAgent:
+    """Required subjobs first; interactive/optional only once they hold."""
+
+    def __init__(self, duroc: Duroc) -> None:
+        self.duroc = duroc
+
+    def allocate(self, request: CoAllocationRequest) -> Generator:
+        """Generator: two-stage acquisition; returns AgentOutcome."""
+        env = self.duroc.env
+        started = env.now
+        outcome = AgentOutcome(success=False)
+
+        required = [
+            spec for spec in request if spec.start_type is SubjobType.REQUIRED
+        ]
+        rest = [
+            spec for spec in request if spec.start_type is not SubjobType.REQUIRED
+        ]
+
+        job = self.duroc.submit(CoAllocationRequest(required))
+        try:
+            # Stage 1: every required subjob checks in (or the request
+            # aborts cheaply, before interactive resources are acquired).
+            yield from job.wait(
+                lambda j: all(
+                    slot.state is SubjobState.CHECKED_IN for slot in j.slots
+                )
+            )
+            outcome.log.append(
+                f"required stage held at t={env.now:.2f}"
+            )
+            # Stage 2: extend the live request with the rest.
+            for spec in rest:
+                job.add(spec)
+            result = yield from job.commit()
+        except AllocationAborted as exc:
+            outcome.failure = str(exc)
+            outcome.elapsed = env.now - started
+            return outcome
+        outcome.success = True
+        outcome.result = result
+        outcome.elapsed = env.now - started
+        return outcome

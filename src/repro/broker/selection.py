@@ -1,0 +1,62 @@
+"""Forecast-guided resource selection.
+
+§2.2: "the co-allocator may use information published by local managers
+to select from among alternative candidate resources".  Given a total
+processor requirement and a directory of sites, pick the subjob layout
+with the smallest predicted worst-site wait.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
+from repro.errors import ReproError
+from repro.mds.directory import Directory
+
+
+def plan_layout(
+    directory: Directory,
+    total: int,
+    max_per_site: int,
+    executable: str,
+    max_time: Optional[float] = None,
+    start_type: SubjobType = SubjobType.REQUIRED,
+) -> CoAllocationRequest:
+    """Split ``total`` processes across the best-forecast sites.
+
+    Greedy: fill sites in increasing predicted-wait order, taking at
+    most ``max_per_site`` (and at most the machine size) from each.
+    Raises :class:`ReproError` if the directory cannot cover the total.
+    """
+    if total <= 0:
+        raise ReproError(f"total must be positive, got {total!r}")
+    if max_per_site <= 0:
+        raise ReproError(f"max_per_site must be positive, got {max_per_site!r}")
+
+    remaining = total
+    specs: list[SubjobSpec] = []
+    ranked = directory.candidates(count=1, max_time=max_time)
+    for name, _wait in ranked:
+        if remaining <= 0:
+            break
+        info = directory.lookup(name)
+        take = min(remaining, max_per_site, info.nodes)
+        if take <= 0:
+            continue
+        specs.append(
+            SubjobSpec(
+                contact=info.contact,
+                count=take,
+                executable=executable,
+                start_type=start_type,
+                max_time=max_time,
+            )
+        )
+        remaining -= take
+    if remaining > 0:
+        raise ReproError(
+            f"directory sites cannot cover {total} processes "
+            f"({remaining} unplaced)"
+        )
+    return CoAllocationRequest(specs)

@@ -1,0 +1,41 @@
+"""The paper's contribution: co-allocation mechanisms and strategies.
+
+* :class:`Duroc` / :class:`DurocJob` — the interactive-transaction
+  co-allocator (editable requests, required/interactive/optional
+  subjobs, two-phase-commit barrier, monitoring/control);
+* :class:`Grab` — the atomic-transaction co-allocator;
+* :func:`repro.core.applib.barrier` — the application-side barrier;
+* :class:`DurocConfig` — the §3.3 configuration mechanisms.
+"""
+
+from repro.core.applib import barrier, make_program
+from repro.core.atomic import Grab
+from repro.core.callbacks import CallbackDispatcher, DurocEvent, Notification
+from repro.core.coallocator import (
+    Duroc,
+    DurocJob,
+    DurocResult,
+    SubjobSlot,
+)
+from repro.core.config import DurocConfig
+from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
+from repro.core.states import RequestState, SubjobState
+
+__all__ = [
+    "CallbackDispatcher",
+    "CoAllocationRequest",
+    "Duroc",
+    "DurocConfig",
+    "DurocEvent",
+    "DurocJob",
+    "DurocResult",
+    "Grab",
+    "Notification",
+    "RequestState",
+    "SubjobSlot",
+    "SubjobSpec",
+    "SubjobState",
+    "SubjobType",
+    "barrier",
+    "make_program",
+]

@@ -1,0 +1,109 @@
+"""Application-side DUROC library (§4.1).
+
+"A process that is to run on a co-allocated node starts as normal.  The
+first thing it does is perform any non-side-effect-producing
+initialization necessary to determine if the component execution can
+proceed.  It then calls the co-allocation barrier, signalling whether
+or not it has completed startup successfully.  Depending on how
+co-allocation proceeds, the process may or may not return from the
+barrier."
+
+:func:`barrier` is that call; :func:`make_program` builds complete
+program callables (startup → barrier → payload) for use as GRAM
+executables, which is how every example and benchmark launches work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.core.barrier import ABORT, CHECKIN, RELEASE, config_from_release
+from repro.core.config import DurocConfig
+from repro.errors import CoAllocationError, StopProcess
+from repro.machine.host import ProcessContext
+from repro.net.transport import Port
+
+#: Context parameter keys injected by the DUROC co-allocator at submit.
+PARAM_CONTACT = "duroc.contact"
+PARAM_SLOT = "duroc.slot"
+
+
+def barrier(
+    ctx: ProcessContext,
+    port: Port,
+    ok: bool = True,
+    reason: Optional[str] = None,
+) -> Generator:
+    """Check in to the co-allocation barrier and wait for the verdict.
+
+    Returns the :class:`~repro.core.config.DurocConfig` on release.
+    Raises :class:`~repro.errors.StopProcess` if the co-allocation is
+    aborted (the process "may not return from the barrier"), and also
+    when ``ok=False`` was reported (a process that failed startup never
+    proceeds).
+    """
+    if PARAM_CONTACT not in ctx.params:
+        raise CoAllocationError(
+            "process was not started under DUROC (missing duroc.contact)"
+        )
+    contact = ctx.params[PARAM_CONTACT]
+    slot_id = ctx.params[PARAM_SLOT]
+    port.send(
+        contact,
+        CHECKIN,
+        payload={
+            "slot_id": slot_id,
+            "rank": ctx.rank,
+            "ok": ok,
+            "reason": reason,
+            "endpoint": port.endpoint,
+        },
+    )
+    message = yield port.recv(filter=lambda m: m.kind in (RELEASE, ABORT))
+    if message.kind == ABORT:
+        raise StopProcess(("aborted", message.payload.get("reason")))
+    if not ok:  # pragma: no cover - the co-allocator never releases failures
+        raise StopProcess(("failed", reason))
+    return config_from_release(message.payload)
+
+
+#: Payload body: called after release with (ctx, port, config).
+Body = Callable[[ProcessContext, Port, DurocConfig], Generator]
+
+
+def make_program(
+    startup: float = 0.0,
+    body: Optional[Body] = None,
+    startup_ok: Optional[Callable[[ProcessContext], tuple[bool, Optional[str]]]] = None,
+    runtime: float = 0.0,
+):
+    """Build a DUROC-aware program callable.
+
+    ``startup`` seconds of initialization are scaled by the machine's
+    load factor (an overloaded machine is late to the barrier — the
+    paper's motivating failure).  ``startup_ok(ctx)`` may veto startup
+    (application-defined failure: library checks, disk space, ...).
+    After release, ``body`` runs; absent a body the process sleeps
+    ``runtime`` seconds.
+    """
+
+    def program(ctx: ProcessContext) -> Generator:
+        port = ctx.port("duroc")
+        if startup > 0:
+            yield ctx.env.timeout(ctx.machine.startup_delay(startup))
+        ok, reason = (True, None) if startup_ok is None else startup_ok(ctx)
+        if PARAM_CONTACT in ctx.params:
+            config = yield from barrier(ctx, port, ok=ok, reason=reason)
+        else:
+            # Started by plain GRAM (no co-allocator): run standalone.
+            config = None
+            if not ok:
+                raise StopProcess(("failed", reason))
+        if body is not None:
+            result = yield from body(ctx, port, config)
+            return result
+        if runtime > 0:
+            yield ctx.env.timeout(runtime)
+        return config.global_rank() if config is not None else ctx.rank
+
+    return program

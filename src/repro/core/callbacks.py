@@ -1,0 +1,68 @@
+"""DUROC monitoring callbacks (§3.4).
+
+"The monitoring interface should allow for state transitions to be
+signalled to the monitoring program, which can then act upon this
+transition in a manner that is appropriate for the application."
+
+Events cover both per-subjob transitions and global request
+transitions.  Handlers run synchronously at the instant of the
+transition (callbacks execute atomically in simulated time) and may
+invoke co-allocator edit operations — that is exactly how interactive
+failure handling works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Optional
+
+
+class DurocEvent(str, Enum):
+    SUBJOB_SUBMITTED = "subjob_submitted"
+    SUBJOB_CHECKIN = "subjob_checkin"          # all processes checked in OK
+    SUBJOB_FAILED = "subjob_failed"            # GRAM error or startup failure
+    SUBJOB_TIMEOUT = "subjob_timeout"          # no check-in within deadline
+    SUBJOB_RELEASED = "subjob_released"
+    SUBJOB_DELETED = "subjob_deleted"
+    REQUEST_COMMITTED = "request_committed"
+    REQUEST_RELEASED = "request_released"
+    REQUEST_ABORTED = "request_aborted"
+    REQUEST_DONE = "request_done"
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One monitoring event."""
+
+    event: DurocEvent
+    time: float
+    subjob: Optional[int] = None      # slot index, None for request-level
+    detail: Any = None
+
+
+#: Handler signature: receives the notification; return value ignored.
+Handler = Callable[[Notification], None]
+
+
+class CallbackDispatcher:
+    """Registry + synchronous fan-out of notifications."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[Optional[DurocEvent], list[Handler]] = {}
+        #: Full history, useful for tests and monitoring dashboards.
+        self.log: list[Notification] = []
+
+    def on(self, event: Optional[DurocEvent], handler: Handler) -> None:
+        """Register for one event kind (None = all events)."""
+        self._handlers.setdefault(event, []).append(handler)
+
+    def emit(self, notification: Notification) -> None:
+        self.log.append(notification)
+        for key in (notification.event, None):
+            # Snapshot: a handler may register further handlers.
+            for handler in list(self._handlers.get(key, ())):
+                handler(notification)
+
+    def events(self, event: DurocEvent) -> list[Notification]:
+        return [n for n in self.log if n.event is event]

@@ -1,0 +1,140 @@
+"""DUROC subjob and request state machines."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import RequestStateError
+
+
+class SubjobState(str, Enum):
+    """Lifecycle of one subjob slot inside a co-allocation."""
+
+    #: Created (by the initial request or an edit), not yet sent to GRAM.
+    PENDING = "pending"
+    #: GRAM submission in flight.
+    SUBMITTING = "submitting"
+    #: GRAM accepted; waiting for process barrier check-ins.
+    SUBMITTED = "submitted"
+    #: Every process checked into the barrier reporting success.
+    CHECKED_IN = "checked_in"
+    #: Barrier released; the subjob is part of the running computation.
+    RELEASED = "released"
+    #: GRAM refusal, startup failure, timeout, or crash.
+    FAILED = "failed"
+    #: Edited out of the request (delete/substitute), job canceled.
+    DELETED = "deleted"
+    #: Killed by abort or an explicit control operation.
+    TERMINATED = "terminated"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (
+            SubjobState.FAILED,
+            SubjobState.DELETED,
+            SubjobState.TERMINATED,
+        )
+
+    @property
+    def live(self) -> bool:
+        """Still part of the configuration being assembled."""
+        return not self.terminal
+
+
+SUBJOB_TRANSITIONS: dict[SubjobState, frozenset[SubjobState]] = {
+    SubjobState.PENDING: frozenset(
+        {SubjobState.SUBMITTING, SubjobState.DELETED, SubjobState.TERMINATED}
+    ),
+    SubjobState.SUBMITTING: frozenset(
+        {
+            SubjobState.SUBMITTED,
+            SubjobState.FAILED,
+            SubjobState.DELETED,
+            SubjobState.TERMINATED,
+        }
+    ),
+    SubjobState.SUBMITTED: frozenset(
+        {
+            SubjobState.CHECKED_IN,
+            SubjobState.FAILED,
+            SubjobState.DELETED,
+            SubjobState.TERMINATED,
+        }
+    ),
+    SubjobState.CHECKED_IN: frozenset(
+        {
+            SubjobState.RELEASED,
+            SubjobState.FAILED,
+            SubjobState.DELETED,
+            SubjobState.TERMINATED,
+        }
+    ),
+    SubjobState.RELEASED: frozenset(
+        {SubjobState.FAILED, SubjobState.TERMINATED}
+    ),
+    SubjobState.FAILED: frozenset({SubjobState.DELETED}),
+    SubjobState.DELETED: frozenset(),
+    SubjobState.TERMINATED: frozenset(),
+}
+
+
+class RequestState(str, Enum):
+    """Lifecycle of the whole co-allocation."""
+
+    #: Subjobs being submitted / checked in; edits allowed.
+    ALLOCATING = "allocating"
+    #: Commit issued; waiting for the final configuration to check in.
+    COMMITTING = "committing"
+    #: Barrier released: the computation is running.
+    RELEASED = "released"
+    #: All released subjobs have finished.
+    DONE = "done"
+    #: A required subjob failed, or the application aborted.
+    ABORTED = "aborted"
+    #: Explicit kill.
+    TERMINATED = "terminated"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (RequestState.DONE, RequestState.ABORTED, RequestState.TERMINATED)
+
+    @property
+    def editable(self) -> bool:
+        """Edits (add/delete/substitute) are legal in this state.
+
+        Per the paper, edits are allowed "until the commit operation";
+        commit itself still reacts to failures via callbacks, but
+        *application-initiated* edits of interactive subjobs remain
+        legal during COMMITTING because failure callbacks fire then.
+        """
+        return self in (RequestState.ALLOCATING, RequestState.COMMITTING)
+
+
+REQUEST_TRANSITIONS: dict[RequestState, frozenset[RequestState]] = {
+    RequestState.ALLOCATING: frozenset(
+        {RequestState.COMMITTING, RequestState.ABORTED, RequestState.TERMINATED}
+    ),
+    RequestState.COMMITTING: frozenset(
+        {RequestState.RELEASED, RequestState.ABORTED, RequestState.TERMINATED}
+    ),
+    RequestState.RELEASED: frozenset(
+        {RequestState.DONE, RequestState.ABORTED, RequestState.TERMINATED}
+    ),
+    RequestState.DONE: frozenset(),
+    RequestState.ABORTED: frozenset(),
+    RequestState.TERMINATED: frozenset(),
+}
+
+
+def check_subjob_transition(current: SubjobState, new: SubjobState) -> None:
+    if new not in SUBJOB_TRANSITIONS[current]:
+        raise RequestStateError(
+            f"illegal subjob transition {current.value} -> {new.value}"
+        )
+
+
+def check_request_transition(current: RequestState, new: RequestState) -> None:
+    if new not in REQUEST_TRANSITIONS[current]:
+        raise RequestStateError(
+            f"illegal request transition {current.value} -> {new.value}"
+        )

@@ -1,0 +1,100 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause.
+Protocol-level failures (a denied allocation, a failed authentication)
+are *also* modeled as values/states where the paper's protocol calls for
+it; exceptions are reserved for misuse of the API and for propagating
+failures into application processes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """Misuse or internal failure of the discrete-event kernel."""
+
+
+class StopProcess(BaseException):
+    """Raised inside a simulated process to terminate it immediately.
+
+    Derives from ``BaseException`` (like ``GeneratorExit``) so that
+    application code using broad ``except Exception`` handlers cannot
+    accidentally swallow process termination.
+    """
+
+
+class NetworkError(ReproError):
+    """A message could not be delivered (partition, dead host, ...)."""
+
+
+class RPCTimeout(NetworkError):
+    """An RPC did not receive a reply within its timeout."""
+
+
+class HostDown(NetworkError):
+    """The destination host has crashed or is unreachable."""
+
+
+class AuthenticationError(ReproError):
+    """GSI mutual authentication failed."""
+
+
+class AuthorizationError(ReproError):
+    """GSI authorization (gridmap lookup) failed."""
+
+
+class RSLError(ReproError):
+    """Base for RSL language processing errors."""
+
+
+class RSLSyntaxError(RSLError):
+    """The RSL text could not be parsed."""
+
+
+class RSLValidationError(RSLError):
+    """The RSL parsed but is not a valid request (bad attribute etc.)."""
+
+
+class GramError(ReproError):
+    """A GRAM request failed at the local resource manager."""
+
+
+class SchedulerError(ReproError):
+    """A local scheduler rejected or cannot satisfy a request."""
+
+
+class ReservationError(SchedulerError):
+    """An advance reservation could not be granted or honored."""
+
+
+class CoAllocationError(ReproError):
+    """Base class for co-allocation (GRAB/DUROC) failures."""
+
+
+class RequestStateError(CoAllocationError):
+    """An edit/control operation was applied in an illegal request state."""
+
+
+class SubjobFailed(CoAllocationError):
+    """A subjob failed; carried to the application via barrier release."""
+
+
+class AllocationAborted(CoAllocationError):
+    """The co-allocation was aborted (required subjob failed, kill, ...)."""
+
+
+class CommitFailed(CoAllocationError):
+    """Commit was issued but the final configuration could not start."""
+
+
+class ConfigurationError(CoAllocationError):
+    """The post-allocation configuration phase (naming/wiring) failed."""
+
+
+class MPIError(ReproError):
+    """Failure inside the mini-MPI (MPICH-G-like) layer."""

@@ -1,0 +1,47 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+========  ====================================================  =================
+id        paper artifact                                        harness
+========  ====================================================  =================
+fig2      GRAM latency vs process count                         :mod:`.fig2`
+fig3      single-request cost breakdown                         :mod:`.fig3`
+fig4      DUROC time vs subjob count                            :mod:`.fig4`
+fig5      DUROC submission timeline                             :mod:`.fig5`
+model     §4.2 analytic barrier-wait model                      :mod:`.model`
+app-sf    §4.3 SF-Express atomic-vs-interactive                 :mod:`.apps`
+app-rst   §4.3 restart cost vs startup time                     :mod:`.apps`
+app-mot   §2 motivating scenario                                :mod:`.apps`
+app-tomo  §4.3 / [27] microtomography                           :mod:`.apps`
+resv      §2.2/§5 advance co-reservation                        :mod:`.reservations`
+forecast  §2.2 forecast staleness vs selection quality          :mod:`.forecast`
+queues    §4.2 barrier cost vs queue/startup delays             :mod:`.queues`
+========  ====================================================  =================
+"""
+
+from repro.experiments import (
+    apps,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    forecast,
+    model,
+    queues,
+    reservations,
+)
+from repro.experiments.report import format_table, format_timeline, linear_fit
+
+__all__ = [
+    "apps",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "forecast",
+    "format_table",
+    "format_timeline",
+    "linear_fit",
+    "model",
+    "queues",
+    "reservations",
+]

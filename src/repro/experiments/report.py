@@ -1,0 +1,93 @@
+"""Table and timeline rendering for experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str = "",
+    floatfmt: str = "{:.3f}",
+) -> str:
+    """Render an ASCII table (no external dependencies)."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        rendered.append(
+            [
+                floatfmt.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(headers[col]), *(len(r[col]) for r in rendered)) if rendered
+        else len(headers[col])
+        for col in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_timeline(
+    entries: Sequence[tuple[str, str, float, float]],
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Render labeled spans as an ASCII Gantt chart.
+
+    ``entries`` is [(lane, phase, start, end), ...]; lanes appear in
+    first-seen order, phases as bars of ``#`` on a per-lane row.
+    """
+    if not entries:
+        return title or "(empty timeline)"
+    t0 = min(e[2] for e in entries)
+    t1 = max(e[3] for e in entries)
+    span = max(t1 - t0, 1e-9)
+
+    def col(t: float) -> int:
+        return int(round((t - t0) / span * (width - 1)))
+
+    lanes: dict[str, list[tuple[str, float, float]]] = {}
+    for lane, phase, start, end in entries:
+        lanes.setdefault(lane, []).append((phase, start, end))
+
+    label_width = max(len(f"{lane}:{phase}") for lane, phase, _, _ in entries)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':<{label_width}}  t={t0:.3f}s {'-' * (width - 20)} t={t1:.3f}s"
+    )
+    for lane, phases in lanes.items():
+        for phase, start, end in phases:
+            bar = [" "] * width
+            lo, hi = col(start), max(col(end), col(start))
+            for i in range(lo, hi + 1):
+                bar[i] = "#"
+            label = f"{lane}:{phase}"
+            lines.append(f"{label:<{label_width}}  {''.join(bar)}")
+    return "\n".join(lines)
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """Least-squares fit y = a*x + b; returns (a, b, r_squared)."""
+    import numpy as np
+
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if len(x) < 2:
+        raise ValueError("need at least two points to fit a line")
+    a, b = np.polyfit(x, y, 1)
+    predicted = a * x + b
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return float(a), float(b), r2

@@ -1,0 +1,32 @@
+"""GRAM: the per-site local resource manager (gatekeeper + job managers)."""
+
+from repro.gram.client import (
+    CallbackListener,
+    GramClient,
+    JobHandle,
+    contact_endpoint,
+)
+from repro.gram.costs import FREE_COSTS, PAPER_COSTS, CostModel
+from repro.gram.gatekeeper import GATEKEEPER_PORT, Gatekeeper
+from repro.gram.job import Job, JobContact
+from repro.gram.jobmanager import JobManager
+from repro.gram.site import Site
+from repro.gram.states import JobState, check_transition
+
+__all__ = [
+    "CallbackListener",
+    "CostModel",
+    "FREE_COSTS",
+    "GATEKEEPER_PORT",
+    "Gatekeeper",
+    "GramClient",
+    "Job",
+    "JobContact",
+    "JobHandle",
+    "JobManager",
+    "JobState",
+    "PAPER_COSTS",
+    "Site",
+    "check_transition",
+    "contact_endpoint",
+]

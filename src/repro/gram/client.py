@@ -1,0 +1,232 @@
+"""GRAM client library.
+
+The client-side analogue of the Globus GRAM API: submit a request to a
+gatekeeper contact, poll job status, cancel, and receive asynchronous
+state callbacks.  All calls are generators to be driven inside
+simulated processes (``yield from client.submit(...)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.errors import GramError, RPCTimeout
+from repro.gram.gatekeeper import GATEKEEPER_PORT, SUBMIT
+from repro.gram.jobmanager import CALLBACK, CANCEL, REGISTER, STATUS, UNREGISTER
+from repro.gram.states import JobState
+from repro.gsi.auth import AuthConfig, initiate
+from repro.gsi.credentials import Credential
+from repro.net.address import Endpoint
+from repro.net.network import Network
+from repro.net.rpc import RPCError, call
+from repro.net.transport import Port, ephemeral_endpoint
+from repro.rsl.ast import Specification
+from repro.rsl.printer import unparse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+_client_seq = itertools.count(1)
+
+
+@dataclass
+class JobHandle:
+    """Client-side view of a submitted job."""
+
+    job_id: str
+    manager: Endpoint
+    state: JobState = JobState.PENDING
+    failure_reason: Optional[str] = None
+    submitted_at: float = 0.0
+    active_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    def update(self, state: JobState, reason: Optional[str], now: float) -> None:
+        self.state = state
+        self.failure_reason = reason
+        if state is JobState.ACTIVE and self.active_at is None:
+            self.active_at = now
+        if state.terminal and self.finished_at is None:
+            self.finished_at = now
+
+
+def contact_endpoint(contact: str) -> Endpoint:
+    """Resolve a resource manager contact string to the gatekeeper port.
+
+    Accepts either ``"host"`` (conventional port assumed) or
+    ``"host:port"``.
+    """
+    if ":" in contact:
+        return Endpoint.parse(contact)
+    return Endpoint(contact, GATEKEEPER_PORT)
+
+
+class CallbackListener:
+    """Receives ``gram.callback`` messages and dispatches to handlers.
+
+    DUROC registers one handler per subjob; applications may register a
+    catch-all with job_id ``None``.
+    """
+
+    def __init__(self, network: Network, host: str) -> None:
+        self.port = Port(network, ephemeral_endpoint(host, "gram-cb"))
+        self.endpoint = self.port.endpoint
+        self._handlers: dict[Optional[str], list[Callable]] = {}
+        self.process = network.env.process(self._listen(), name="gram-cb-listener")
+
+    def on(self, job_id: Optional[str], handler: Callable[[str, JobState, Any], None]) -> None:
+        """Register ``handler(job_id, state, reason)``; None = catch-all."""
+        self._handlers.setdefault(job_id, []).append(handler)
+
+    def _listen(self):
+        while True:
+            message = yield self.port.recv_kind(CALLBACK)
+            payload = message.payload
+            job_id = payload["job_id"]
+            for key in (job_id, None):
+                for handler in self._handlers.get(key, ()):
+                    handler(job_id, payload["state"], payload.get("reason"))
+
+
+class GramClient:
+    """Submit/status/cancel against GRAM gatekeepers."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: str,
+        credential: Credential,
+        auth: Optional[AuthConfig] = None,
+    ) -> None:
+        self.network = network
+        self.env: "Environment" = network.env
+        self.host = host
+        self.credential = credential
+        self.auth = auth or AuthConfig()
+
+    def _fresh_port(self) -> Port:
+        return Port(self.network, ephemeral_endpoint(self.host, "gram"))
+
+    # -- API --------------------------------------------------------------
+
+    def submit(
+        self,
+        contact: str,
+        rsl: "str | Specification",
+        callback: Optional[Endpoint] = None,
+        params: Optional[dict[str, Any]] = None,
+        timeout: Optional[float] = None,
+    ):
+        """Submit a request; returns a :class:`JobHandle` or raises
+        :class:`GramError` / :class:`~repro.errors.RPCTimeout`.
+
+        The call spans mutual authentication plus gatekeeper processing;
+        it returns when the gatekeeper has created the job manager —
+        job *activation* arrives later via callback or status polls.
+        """
+        port = self._fresh_port()
+        dst = contact_endpoint(contact)
+        session = yield from initiate(
+            port, dst, self.credential, self.auth, timeout=timeout
+        )
+        rsl_text = rsl if isinstance(rsl, str) else unparse(rsl)
+        try:
+            payload = yield from call(
+                port,
+                dst,
+                SUBMIT,
+                payload={
+                    "rsl": rsl_text,
+                    "callback": callback,
+                    "params": dict(params or {}),
+                    "session": session.session_id,
+                },
+                timeout=timeout,
+            )
+        except RPCError as exc:
+            raise GramError(f"submit to {contact} refused: {exc.payload}") from None
+        handle = JobHandle(
+            job_id=payload["job_id"],
+            manager=payload["manager"],
+            submitted_at=self.env.now,
+        )
+        return handle
+
+    def status(self, handle: JobHandle, timeout: Optional[float] = None):
+        """Poll the job manager; updates and returns the handle's state."""
+        port = self._fresh_port()
+        payload = yield from call(port, handle.manager, STATUS, timeout=timeout)
+        handle.update(payload["state"], payload.get("reason"), self.env.now)
+        return handle.state
+
+    def cancel(self, handle: JobHandle, timeout: Optional[float] = None):
+        """Cancel the job (idempotent); returns the resulting state."""
+        port = self._fresh_port()
+        try:
+            payload = yield from call(port, handle.manager, CANCEL, timeout=timeout)
+        except RPCTimeout:
+            # The site may be dead; locally mark what we know.
+            handle.update(JobState.FAILED, "cancel timed out", self.env.now)
+            raise
+        handle.update(payload["state"], payload.get("reason"), self.env.now)
+        return handle.state
+
+    def register_callback(
+        self,
+        handle: JobHandle,
+        endpoint: Endpoint,
+        timeout: Optional[float] = None,
+    ):
+        """Register a(nother) callback listener on a running job.
+
+        Mirrors GRAM's callback-register operation: monitoring can be
+        attached after submission (e.g. by a second tool).
+        """
+        port = self._fresh_port()
+        payload = yield from call(
+            port, handle.manager, REGISTER,
+            payload={"endpoint": endpoint}, timeout=timeout,
+        )
+        handle.update(payload["state"], payload.get("reason"), self.env.now)
+        return handle.state
+
+    def unregister_callback(
+        self,
+        handle: JobHandle,
+        endpoint: Endpoint,
+        timeout: Optional[float] = None,
+    ):
+        """Remove a previously registered callback listener."""
+        port = self._fresh_port()
+        payload = yield from call(
+            port, handle.manager, UNREGISTER,
+            payload={"endpoint": endpoint}, timeout=timeout,
+        )
+        handle.update(payload["state"], payload.get("reason"), self.env.now)
+        return handle.state
+
+    def wait_for_state(
+        self,
+        handle: JobHandle,
+        want: JobState,
+        poll: float = 0.5,
+        timeout: Optional[float] = None,
+    ):
+        """Poll until the job reaches ``want`` (or any terminal state).
+
+        Returns the final observed state; raises RPCTimeout if a poll
+        times out, GramError if ``timeout`` elapses first.
+        """
+        deadline = None if timeout is None else self.env.now + timeout
+        while True:
+            state = yield from self.status(handle, timeout=poll * 4 if poll else None)
+            if state is want or state.terminal:
+                return state
+            if deadline is not None and self.env.now >= deadline:
+                raise GramError(
+                    f"job {handle.job_id} did not reach {want.value} "
+                    f"within {timeout:g}s (last state {state.value})"
+                )
+            yield self.env.timeout(poll)

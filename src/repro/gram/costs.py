@@ -1,0 +1,73 @@
+"""GRAM cost model.
+
+Defaults come straight from the paper's Figure 3 breakdown of a
+single-process GRAM request on the Origin 2000 testbed:
+
+======================  ==========
+operation               latency (s)
+======================  ==========
+initgroups()            0.7
+authentication          0.5
+misc.                   0.01
+fork()                  0.001
+======================  ==========
+
+plus an application-startup term (the Fig. 5 "startup wait" between
+fork and the process reaching the GRAM/DUROC barrier) calibrated so a
+single 64-process DUROC subjob completes in ~2 s as in Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gsi.auth import AuthConfig
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation latencies of a GRAM deployment."""
+
+    #: Mutual authentication (paper: 0.5 s total, split across peers).
+    auth: AuthConfig = field(default_factory=AuthConfig)
+    #: The Unix initgroups() call consulting remote NIS group databases
+    #: (paper: "the largest single contributor", 0.7 s).
+    initgroups: float = 0.7
+    #: Request parsing/validation and other small gatekeeper work.
+    misc: float = 0.01
+    #: Per-process fork cost (paper: 1 ms).
+    fork_per_process: float = 0.001
+    #: Application initialization between fork and barrier check-in
+    #: (not in Fig. 3 — it is application work, not GRAM work).
+    app_startup: float = 0.7
+    #: Coefficient of variation for app_startup jitter (0 = deterministic).
+    app_startup_cv: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("initgroups", "misc", "fork_per_process", "app_startup"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.app_startup_cv < 0:
+            raise ValueError("app_startup_cv must be non-negative")
+
+    def fork(self, count: int) -> float:
+        """Total fork cost for ``count`` processes."""
+        return self.fork_per_process * count
+
+    @property
+    def gatekeeper_serial(self) -> float:
+        """Gatekeeper work serialized per request (excl. auth handshake)."""
+        return self.misc + self.initgroups
+
+
+#: The paper's testbed model (Fig. 3 defaults).
+PAPER_COSTS = CostModel()
+
+#: A zero-cost model: useful for protocol-logic tests where latency is noise.
+FREE_COSTS = CostModel(
+    auth=AuthConfig(client_cpu=0.0, server_cpu=0.0),
+    initgroups=0.0,
+    misc=0.0,
+    fork_per_process=0.0,
+    app_startup=0.0,
+)

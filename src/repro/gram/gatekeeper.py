@@ -1,0 +1,215 @@
+"""The GRAM gatekeeper.
+
+The site's front door: it mutually authenticates each requestor (GSI),
+authorizes them against the site gridmap, performs the expensive
+``initgroups()`` identity switch (paper Fig. 3: 0.7 s against remote
+NIS databases), and then hands the request to a freshly created job
+manager, returning the job contact to the client.
+
+Each incoming connection is served by its own handler process, as the
+real gatekeeper forked per connection.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import AuthenticationError, HostDown, RSLError
+from repro.gram.costs import CostModel
+from repro.gram.job import Job
+from repro.gram.jobmanager import JobManager
+from repro.gsi.auth import HELLO, accept
+from repro.gsi.credentials import CertificateAuthority
+from repro.gsi.gridmap import GridMap
+from repro.machine.host import Machine, Program
+from repro.net.address import Endpoint
+from repro.net.rpc import reply_error, reply_ok
+from repro.net.transport import Port
+from repro.rsl.ast import Conjunction, ValueSequence
+from repro.rsl.attributes import (
+    ARGUMENTS,
+    COUNT,
+    ENVIRONMENT,
+    EXECUTABLE,
+    MAX_TIME,
+    MIN_MEMORY,
+    RESERVATION_ID,
+)
+from repro.rsl.parser import parse
+from repro.rsl.attributes import validate_subjob_spec
+from repro.schedulers.base import LocalScheduler
+from repro.simcore.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+SUBMIT = "gram.submit"
+PING = "gram.ping"
+
+#: The well-known gatekeeper port name.
+GATEKEEPER_PORT = "gatekeeper"
+
+
+class Gatekeeper:
+    """Per-site request acceptor."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        machine: Machine,
+        scheduler: LocalScheduler,
+        ca: CertificateAuthority,
+        gridmap: GridMap,
+        programs: dict[str, Program],
+        costs: Optional[CostModel] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.env = env
+        self.machine = machine
+        self.scheduler = scheduler
+        self.ca = ca
+        self.gridmap = gridmap
+        self.programs = programs
+        self.costs = costs or CostModel()
+        self.tracer = tracer
+        self.port = Port(machine.network, Endpoint(machine.name, GATEKEEPER_PORT))
+        self.endpoint = self.port.endpoint
+        #: Job managers created by this gatekeeper, by job id.
+        self.job_managers: dict[str, JobManager] = {}
+        self._job_counter = 0
+        self.listener = env.process(self._listen(), name=f"gk:{machine.name}")
+
+    @property
+    def contact(self) -> str:
+        """The resource manager contact string clients put in RSL."""
+        return str(self.endpoint)
+
+    def _listen(self):
+        while True:
+            message = yield self.port.recv(
+                filter=lambda m: m.kind in (HELLO, PING)
+            )
+            if message.kind == PING:
+                reply_ok(self.port, message, payload={"contact": self.contact})
+                continue
+            self.env.process(
+                self._handle(message), name=f"gk-conn:{self.machine.name}"
+            )
+
+    def _handle(self, hello):
+        """Serve one connection: authenticate, authorize, submit."""
+        env = self.env
+        auth_start = env.now
+        try:
+            session = yield from accept(
+                self.port, hello, self.ca, self.gridmap, self.costs.auth,
+                timeout=30.0,
+            )
+        except AuthenticationError:
+            return  # the client was already informed by accept()
+        except HostDown:
+            return
+        if self.tracer is not None:
+            self.tracer.record(
+                "gram.auth", auth_start, env.now, site=self.machine.name
+            )
+
+        # The authenticated peer now sends the actual request.
+        get = self.port.recv(
+            filter=lambda m: m.kind == SUBMIT and m.src == session.peer
+        )
+        deadline = env.timeout(30.0)
+        yield get | deadline
+        if not get.triggered:
+            get.cancel()
+            return
+        deadline.cancelled = True  # retire the timer
+        request = get.value
+
+        misc_start = env.now
+        try:
+            spec = self._parse_request(request.payload["rsl"])
+        except RSLError as exc:
+            yield env.timeout(self.costs.misc)
+            reply_error(self.port, request, payload=str(exc))
+            return
+        yield env.timeout(self.costs.misc)
+        if self.tracer is not None:
+            self.tracer.record(
+                "gram.misc", misc_start, env.now, site=self.machine.name
+            )
+
+        executable = spec.get(EXECUTABLE)
+        if executable not in self.programs:
+            reply_error(
+                self.port, request, payload=f"executable {executable!r} not found"
+            )
+            return
+
+        # initgroups(): switch to the gridmap-resolved local user.  The
+        # paper's single largest cost — consults remote NIS databases.
+        ig_start = env.now
+        yield env.timeout(self.costs.initgroups)
+        if self.tracer is not None:
+            self.tracer.record(
+                "gram.initgroups", ig_start, env.now, site=self.machine.name
+            )
+
+        if self.machine.crashed:
+            return  # we died mid-request; the client's timeout handles it
+
+        job = self._make_job(spec, request.payload.get("params") or {})
+        manager = JobManager(
+            env=env,
+            machine=self.machine,
+            scheduler=self.scheduler,
+            job=job,
+            program=self.programs[executable],
+            costs=self.costs,
+            callback=request.payload.get("callback"),
+            tracer=self.tracer,
+        )
+        self.job_managers[job.job_id] = manager
+        reply_ok(
+            self.port,
+            request,
+            payload={"job_id": job.job_id, "manager": manager.contact.manager},
+        )
+
+    def _parse_request(self, rsl) -> Conjunction:
+        spec = parse(rsl) if isinstance(rsl, str) else rsl
+        if isinstance(spec, Conjunction):
+            # Resolve $(NAME) references against the request's own
+            # rslSubstitution bindings before validation.
+            from repro.rsl.transform import resolve_substitutions
+
+            spec = resolve_substitutions(spec)
+        return validate_subjob_spec(spec)
+
+    def _make_job(self, spec: Conjunction, params: dict) -> Job:
+        arguments = ()
+        args_rel = spec.relations().get(ARGUMENTS.lower())
+        if args_rel is not None:
+            arguments = args_rel.values
+        env_params = dict(params)
+        env_rel = spec.relations().get(ENVIRONMENT.lower())
+        if env_rel is not None:
+            for item in env_rel.values:
+                if isinstance(item, ValueSequence) and len(item) == 2:
+                    key, value = item.values
+                    env_params[str(key)] = value
+        max_time = spec.get(MAX_TIME)
+        min_memory = spec.get(MIN_MEMORY)
+        reservation_id = spec.get(RESERVATION_ID)
+        self._job_counter += 1
+        return Job(
+            job_id=f"{self.machine.name}/job{self._job_counter}",
+            site=self.machine.name,
+            count=int(spec.get(COUNT)),
+            executable=str(spec.get(EXECUTABLE)),
+            arguments=tuple(arguments),
+            params=env_params,
+            max_time=float(max_time) if max_time is not None else None,
+            min_memory=float(min_memory) if min_memory is not None else None,
+            reservation_id=str(reservation_id) if reservation_id is not None else None,
+        )

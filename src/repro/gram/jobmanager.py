@@ -1,0 +1,269 @@
+"""The GRAM job manager.
+
+One job manager is created per accepted request.  It owns the job's
+state machine: it obtains nodes from the local scheduler, forks the
+application processes on the machine, publishes state-change callbacks
+to the client, and services status/cancel messages until the job
+reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import HostDown
+from repro.gram.costs import CostModel
+from repro.gram.job import Job, JobContact
+from repro.gram.states import JobState
+from repro.machine.host import Machine, Program
+from repro.net.address import Endpoint
+from repro.net.transport import Port
+from repro.schedulers.base import LocalScheduler, NodeRequest
+from repro.simcore.process import Interrupt
+from repro.simcore.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+#: Message kinds served by a job manager.
+STATUS = "gram.status"
+CANCEL = "gram.cancel"
+CALLBACK = "gram.callback"
+REGISTER = "gram.register_callback"
+UNREGISTER = "gram.unregister_callback"
+
+
+class JobManager:
+    """Drives one job from PENDING to a terminal state."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        machine: Machine,
+        scheduler: LocalScheduler,
+        job: Job,
+        program: Program,
+        costs: CostModel,
+        callback: Optional[Endpoint] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.env = env
+        self.machine = machine
+        self.scheduler = scheduler
+        self.job = job
+        self.program = program
+        self.costs = costs
+        #: Callback listeners; more can be (un)registered at runtime.
+        self.callbacks: list[Endpoint] = [callback] if callback is not None else []
+        self.tracer = tracer
+        self.port = Port(
+            machine.network, Endpoint(machine.name, f"jm.{job.job_id.split('/')[-1]}")
+        )
+        self.contact = JobContact(job_id=job.job_id, manager=self.port.endpoint)
+        self._lease = None
+        self._pending_alloc = None
+        self.driver = env.process(self._drive(), name=f"jm:{job.job_id}")
+        self.server = env.process(self._serve(), name=f"jm-serve:{job.job_id}")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _drive(self):
+        env = self.env
+        job = self.job
+        job.transition(JobState.PENDING, env.now)
+        self._notify()
+
+        # Obtain nodes from the local scheduling policy.  Requests the
+        # machine can never satisfy (too many nodes, too much memory)
+        # are refused synchronously.
+        from repro.errors import SchedulerError
+
+        queue_start = env.now
+        try:
+            self._pending_alloc = self.scheduler.submit(
+                NodeRequest(
+                    count=job.count,
+                    max_time=job.max_time,
+                    job_id=job.job_id,
+                    reservation_id=job.reservation_id,
+                    memory=(
+                        job.count * job.min_memory
+                        if job.min_memory is not None
+                        else None
+                    ),
+                )
+            )
+        except SchedulerError as exc:
+            self._fail(str(exc))
+            return
+        try:
+            self._lease = yield self._pending_alloc.event
+        except Interrupt:
+            self._fail("canceled while queued")
+            return
+        except Exception as exc:  # scheduler rejected (e.g. reservation)
+            self._fail(str(exc))
+            return
+        if self.tracer is not None and env.now > queue_start:
+            self.tracer.record("gram.queue", queue_start, env.now, job=job.job_id)
+
+        # Fork the processes (paper: ~1 ms per process).
+        fork_start = env.now
+        try:
+            yield env.timeout(self.costs.fork(job.count))
+        except Interrupt:
+            self._release()
+            self._fail("canceled during fork")
+            return
+        if self.tracer is not None:
+            self.tracer.record("gram.fork", fork_start, env.now, job=job.job_id)
+
+        if self.machine.crashed:
+            self._release()
+            self._fail("machine crashed")
+            return
+
+        records = []
+        for rank in range(job.count):
+            record = self.machine.spawn(
+                self.program,
+                executable=job.executable,
+                rank=rank,
+                count=job.count,
+                arguments=job.arguments,
+                params=dict(job.params, **{
+                    "gram.job_id": job.job_id,
+                    "gram.contact": str(self.contact),
+                }),
+            )
+            records.append(record)
+        job.pids = [r.pid for r in records]
+
+        job.transition(JobState.ACTIVE, env.now)
+        self._notify()
+
+        # Wait for every process to exit.  If any process dies abnormally
+        # (kill, crash, application error), the whole job fails and the
+        # remaining processes are terminated.
+        try:
+            yield env.all_of([r.process for r in records])
+        except Interrupt as intr:
+            for pid in list(self.job.pids):
+                self.machine.kill(pid)
+            self._release()
+            self._fail(str(intr.cause) if intr.cause else "killed")
+            return
+        except Exception as exc:
+            for pid in list(self.job.pids):
+                self.machine.kill(pid)
+            self._release()
+            self._fail(f"process error: {exc}")
+            return
+
+        self._release()
+        job.transition(JobState.DONE, env.now)
+        self._notify()
+
+    def _release(self) -> None:
+        if self._lease is not None and not self._lease.released:
+            self._lease.release()
+            self._lease = None
+
+    def _fail(self, reason: str) -> None:
+        if not self.job.state.terminal:
+            self.job.transition(JobState.FAILED, self.env.now, reason=reason)
+            self._notify()
+
+    def _notify(self) -> None:
+        """Send a state callback to every registered listener."""
+        for endpoint in self.callbacks:
+            try:
+                self.port.send(
+                    endpoint,
+                    CALLBACK,
+                    payload={
+                        "job_id": self.job.job_id,
+                        "state": self.job.state,
+                        "reason": self.job.failure_reason,
+                    },
+                )
+            except HostDown:
+                return  # our own machine died; nothing more to say
+
+    # -- control server ---------------------------------------------------------
+
+    def _serve(self):
+        """Answer status and cancel messages until the job terminates."""
+        served = (STATUS, CANCEL, REGISTER, UNREGISTER)
+        while not self.job.state.terminal:
+            get = self.port.recv(filter=lambda m: m.kind in served)
+            done = self.driver
+            yield get | done
+            if not get.triggered:
+                get.cancel()
+                break
+            message = get.value
+            if message.kind == STATUS:
+                self._reply_status(message)
+            elif message.kind == CANCEL:
+                self.cancel("canceled by request")
+                self._reply_status(message)
+            elif message.kind == REGISTER:
+                endpoint = message.payload["endpoint"]
+                if endpoint not in self.callbacks:
+                    self.callbacks.append(endpoint)
+                self._reply_status(message)
+            elif message.kind == UNREGISTER:
+                endpoint = message.payload["endpoint"]
+                if endpoint in self.callbacks:
+                    self.callbacks.remove(endpoint)
+                self._reply_status(message)
+        # Keep answering status queries briefly after termination so
+        # late pollers see the terminal state.
+        while True:
+            message = yield self.port.recv(
+                filter=lambda m: m.kind in served
+            )
+            self._reply_status(message)
+
+    def _reply_status(self, message) -> None:
+        try:
+            self.port.send_message(
+                message.reply(
+                    message.kind + ".reply",
+                    payload={
+                        "job_id": self.job.job_id,
+                        "state": self.job.state,
+                        "reason": self.job.failure_reason,
+                    },
+                )
+            )
+        except HostDown:
+            pass
+
+    # -- control API (also callable in-process) ----------------------------------
+
+    def cancel(self, reason: str = "canceled") -> None:
+        """Kill the job: dequeue it if still queued, else kill its processes.
+
+        The FAILED transition is applied synchronously so the caller's
+        cancel acknowledgment reports the terminal state; the driver's
+        own failure path then finds the job already terminal and only
+        performs teardown (kills, lease release).
+        """
+        if self.job.state.terminal:
+            return
+        self._fail(reason)
+        if self._pending_alloc is not None and not self._pending_alloc.granted:
+            self._pending_alloc.cancel()
+            if self.driver.is_alive:
+                self.driver.interrupt(cause=reason)
+            return
+        if self.job.pids:
+            # Killing the processes fails the driver's all_of with an
+            # Interrupt, which drives the FAILED transition.
+            for pid in list(self.job.pids):
+                self.machine.kill(pid)
+        elif self.driver.is_alive:
+            # Caught mid-fork, before any process exists.
+            self.driver.interrupt(cause=reason)

@@ -1,0 +1,46 @@
+"""GRAM job state machine.
+
+States and transitions follow the GRAM model: a submitted job is
+PENDING until the local scheduler assigns resources, ACTIVE while its
+processes run, and terminates in DONE or FAILED.  SUSPENDED is included
+for completeness (some local schedulers preempt).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import GramError
+
+
+class JobState(str, Enum):
+    UNSUBMITTED = "unsubmitted"
+    PENDING = "pending"
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+#: Legal transitions.  FAILED is reachable from every non-terminal state
+#: (crash, cancel, scheduler rejection); DONE only from ACTIVE.
+TRANSITIONS: dict[JobState, frozenset[JobState]] = {
+    JobState.UNSUBMITTED: frozenset({JobState.PENDING, JobState.FAILED}),
+    JobState.PENDING: frozenset({JobState.ACTIVE, JobState.FAILED}),
+    JobState.ACTIVE: frozenset(
+        {JobState.SUSPENDED, JobState.DONE, JobState.FAILED}
+    ),
+    JobState.SUSPENDED: frozenset({JobState.ACTIVE, JobState.FAILED}),
+    JobState.DONE: frozenset(),
+    JobState.FAILED: frozenset(),
+}
+
+
+def check_transition(current: JobState, new: JobState) -> None:
+    """Raise :class:`GramError` if ``current -> new`` is illegal."""
+    if new not in TRANSITIONS[current]:
+        raise GramError(f"illegal job state transition {current.value} -> {new.value}")

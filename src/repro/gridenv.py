@@ -1,0 +1,236 @@
+"""Grid composition: one-stop construction of simulated testbeds.
+
+:class:`GridBuilder` assembles an environment, network, CA, program
+registry, and a set of GRAM sites; :class:`Grid` exposes co-allocator
+factories and convenience accessors.  Every example, test, and
+benchmark builds its world through this module.
+
+>>> grid = (GridBuilder(seed=7)
+...         .add_machine("RM1", nodes=64)
+...         .add_machine("RM2", nodes=64)
+...         .build())
+>>> duroc = grid.duroc()
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.applib import make_program
+from repro.core.atomic import Grab
+from repro.core.coallocator import Duroc
+from repro.errors import ReproError
+from repro.gram.client import GramClient
+from repro.gram.costs import CostModel
+from repro.gram.site import Site
+from repro.gsi.credentials import CertificateAuthority, Credential
+from repro.machine.host import Machine, Program
+from repro.net.network import LatencyModel, Network
+from repro.schedulers.backfill import EasyBackfillScheduler
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.fork import ForkScheduler
+from repro.schedulers.reservation import ReservationScheduler
+from repro.simcore.environment import Environment
+from repro.simcore.rng import RngRegistry
+from repro.simcore.tracing import Tracer
+
+SCHEDULERS = {
+    "fork": ForkScheduler,
+    "fcfs": FcfsScheduler,
+    "backfill": EasyBackfillScheduler,
+    "reservation": ReservationScheduler,
+}
+
+#: The default executable name registered on every grid.
+DEFAULT_EXECUTABLE = "duroc_app"
+
+#: The client workstation host name.
+CLIENT_HOST = "client"
+
+
+class Grid:
+    """A built testbed: environment, network, sites, identities."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        ca: CertificateAuthority,
+        credential: Credential,
+        sites: dict[str, Site],
+        programs: dict[str, Program],
+        costs: CostModel,
+        rngs: RngRegistry,
+        tracer: Tracer,
+        client_host: str = CLIENT_HOST,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.ca = ca
+        self.credential = credential
+        self.sites = sites
+        self.programs = programs
+        self.costs = costs
+        self.rngs = rngs
+        self.tracer = tracer
+        self.client_host = client_host
+
+    # -- accessors -------------------------------------------------------------
+
+    def site(self, name: str) -> Site:
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise ReproError(f"unknown site {name!r}") from None
+
+    def machine(self, name: str) -> Machine:
+        return self.site(name).machine
+
+    def contacts(self) -> list[str]:
+        return [site.contact for site in self.sites.values()]
+
+    # -- factories --------------------------------------------------------------
+
+    def duroc(self, **kwargs) -> Duroc:
+        """An interactive-transaction co-allocator on the client host."""
+        kwargs.setdefault("auth", self.costs.auth)
+        kwargs.setdefault("tracer", self.tracer)
+        return Duroc(self.network, self.client_host, self.credential, **kwargs)
+
+    def grab(self, **kwargs) -> Grab:
+        """An atomic-transaction co-allocator on the client host."""
+        kwargs.setdefault("auth", self.costs.auth)
+        kwargs.setdefault("tracer", self.tracer)
+        return Grab(self.network, self.client_host, self.credential, **kwargs)
+
+    def gram_client(self) -> GramClient:
+        return GramClient(
+            self.network, self.client_host, self.credential, auth=self.costs.auth
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, until=None):
+        """Run the simulation (see :meth:`Environment.run`)."""
+        return self.env.run(until=until)
+
+    def process(self, generator, name: Optional[str] = None):
+        return self.env.process(generator, name=name)
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def __repr__(self) -> str:
+        return f"<Grid sites={sorted(self.sites)} t={self.env.now:g}>"
+
+
+class GridBuilder:
+    """Fluent construction of a :class:`Grid`."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency: float = 0.002,
+        latency_jitter_cv: float = 0.0,
+        costs: Optional[CostModel] = None,
+        user: str = "alice",
+        client_host: str = CLIENT_HOST,
+    ) -> None:
+        self.seed = seed
+        self.latency = latency
+        self.latency_jitter_cv = latency_jitter_cv
+        self.costs = costs or CostModel()
+        self.user = user
+        self.client_host = client_host
+        self._machines: list[dict] = []
+        self._programs: dict[str, Program] = {}
+
+    def add_machine(
+        self,
+        name: str,
+        nodes: int,
+        scheduler: str = "fork",
+        speed: float = 1.0,
+        costs: Optional[CostModel] = None,
+        memory: Optional[float] = None,
+    ) -> "GridBuilder":
+        """Declare a site; ``scheduler`` is one of fork/fcfs/backfill/reservation.
+
+        ``memory`` (MB) enables §2.1-style processors+memory co-allocation
+        at the local scheduler.
+        """
+        if scheduler not in SCHEDULERS:
+            raise ReproError(
+                f"unknown scheduler {scheduler!r}; pick from {sorted(SCHEDULERS)}"
+            )
+        self._machines.append(
+            dict(name=name, nodes=nodes, scheduler=scheduler, speed=speed,
+                 costs=costs, memory=memory)
+        )
+        return self
+
+    def add_machines(
+        self, prefix: str, count: int, nodes: int, **kwargs
+    ) -> "GridBuilder":
+        """Declare ``count`` identical sites named ``prefix``1..N."""
+        for idx in range(1, count + 1):
+            self.add_machine(f"{prefix}{idx}", nodes=nodes, **kwargs)
+        return self
+
+    def program(self, name: str, program: Program) -> "GridBuilder":
+        """Register an executable available on every site."""
+        self._programs[name] = program
+        return self
+
+    def build(self) -> Grid:
+        if not self._machines:
+            raise ReproError("a grid needs at least one machine")
+        env = Environment()
+        rngs = RngRegistry(self.seed)
+        latency_model = LatencyModel(
+            base=self.latency,
+            jitter_cv=self.latency_jitter_cv,
+            rng=rngs.stream("net.latency") if self.latency_jitter_cv else None,
+        )
+        network = Network(env, latency_model)
+        network.add_host(self.client_host)
+        tracer = Tracer(env)
+        ca = CertificateAuthority()
+        credential = ca.issue(self.user)
+
+        programs: dict[str, Program] = {
+            DEFAULT_EXECUTABLE: make_program(startup=self.costs.app_startup),
+        }
+        programs.update(self._programs)
+
+        sites: dict[str, Site] = {}
+        for spec in self._machines:
+            site = Site(
+                env=env,
+                network=network,
+                name=spec["name"],
+                nodes=spec["nodes"],
+                ca=ca,
+                programs=programs,
+                scheduler_factory=SCHEDULERS[spec["scheduler"]],
+                costs=spec["costs"] or self.costs,
+                speed=spec["speed"],
+                memory=spec["memory"],
+                tracer=tracer,
+            )
+            site.authorize(self.user)
+            sites[spec["name"]] = site
+
+        return Grid(
+            env=env,
+            network=network,
+            ca=ca,
+            credential=credential,
+            sites=sites,
+            programs=programs,
+            costs=self.costs,
+            rngs=rngs,
+            tracer=tracer,
+            client_host=self.client_host,
+        )

@@ -1,0 +1,15 @@
+"""Simulated Grid Security Infrastructure: credentials, auth, gridmap."""
+
+from repro.gsi.auth import AuthConfig, AuthSession, accept, initiate
+from repro.gsi.credentials import CertificateAuthority, Credential
+from repro.gsi.gridmap import GridMap
+
+__all__ = [
+    "AuthConfig",
+    "AuthSession",
+    "CertificateAuthority",
+    "Credential",
+    "GridMap",
+    "accept",
+    "initiate",
+]

@@ -1,0 +1,44 @@
+"""Authorization: mapping grid identities to local accounts.
+
+A *gridmap* is each site's local policy file mapping authenticated grid
+subjects to local user names — the authorization step a GRAM gatekeeper
+performs after mutual authentication and before ``initgroups``/setuid.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AuthorizationError
+
+
+class GridMap:
+    """Per-site subject → local-user mapping."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, str] = {}
+
+    def add(self, subject: str, local_user: str) -> None:
+        """Authorize ``subject`` to run as ``local_user``."""
+        self._entries[subject] = local_user
+
+    def remove(self, subject: str) -> None:
+        self._entries.pop(subject, None)
+
+    def lookup(self, subject: str) -> str:
+        """Resolve the local account for ``subject``.
+
+        Raises :class:`AuthorizationError` for unmapped subjects; a
+        proxy subject is resolved via its end-entity identity.
+        """
+        identity = subject.split("/proxy")[0]
+        try:
+            return self._entries[identity]
+        except KeyError:
+            raise AuthorizationError(
+                f"subject {identity!r} not present in gridmap"
+            ) from None
+
+    def authorized(self, subject: str) -> bool:
+        return subject.split("/proxy")[0] in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

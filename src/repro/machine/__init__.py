@@ -1,0 +1,14 @@
+"""Compute resource model: machines, processes, fault injection."""
+
+from repro.machine.faults import FailureModel, crash_at, overload_during
+from repro.machine.host import Machine, ProcessContext, ProcessRecord, Program
+
+__all__ = [
+    "FailureModel",
+    "Machine",
+    "ProcessContext",
+    "ProcessRecord",
+    "Program",
+    "crash_at",
+    "overload_during",
+]

@@ -1,0 +1,105 @@
+"""Machine-level fault injection.
+
+The paper's motivating scenario (§2) features two distinct failure
+modes this module reproduces on demand:
+
+* a machine "unavailable due to a system crash" — :func:`crash_at`;
+* a machine "overloaded with other work" whose processes start so
+  slowly they miss the startup deadline — :func:`overload_during`.
+
+Plus Bernoulli models used by the application-scale experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.host import Machine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+
+def crash_at(
+    machine: Machine, at: float, duration: Optional[float] = None
+) -> None:
+    """Schedule a crash of ``machine`` at time ``at`` (restore after
+    ``duration`` if given)."""
+
+    def driver(env):
+        if at > env.now:
+            yield env.timeout(at - env.now)
+        machine.crash()
+        if duration is not None:
+            yield env.timeout(duration)
+            machine.restore()
+
+    machine.env.process(driver(machine.env), name=f"fault.crash:{machine.name}")
+
+
+def overload_during(
+    machine: Machine, at: float, duration: float, factor: float
+) -> None:
+    """Schedule a load spike on ``machine`` during [at, at+duration)."""
+
+    def driver(env):
+        if at > env.now:
+            yield env.timeout(at - env.now)
+        previous = machine.load_factor
+        machine.overload(factor)
+        yield env.timeout(duration)
+        machine.load_factor = previous
+
+    machine.env.process(driver(machine.env), name=f"fault.load:{machine.name}")
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Stochastic per-machine failure behaviour for scenario sweeps.
+
+    ``p_unavailable``  — probability a machine is already down when the
+    co-allocation request reaches it (the paper's "system crash" case).
+
+    ``p_slow`` / ``slow_factor`` — probability a machine is overloaded,
+    and by how much startup is inflated (the "five minutes late at the
+    barrier" case).
+
+    ``p_start_failure`` — probability an individual application process
+    reports unsuccessful startup after its local checks (the paper's
+    application-defined failure: bad libraries, no disk space, ...).
+    """
+
+    p_unavailable: float = 0.0
+    p_slow: float = 0.0
+    slow_factor: float = 10.0
+    p_start_failure: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_unavailable", "p_slow", "p_start_failure"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p!r} outside [0, 1]")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1")
+
+    def apply(
+        self,
+        machines: Sequence[Machine],
+        rng: np.random.Generator,
+    ) -> dict[str, str]:
+        """Draw and install faults; returns {machine: fault kind}."""
+        outcome: dict[str, str] = {}
+        for machine in machines:
+            draw = rng.random()
+            if draw < self.p_unavailable:
+                machine.crash()
+                outcome[machine.name] = "crashed"
+            elif draw < self.p_unavailable + self.p_slow:
+                machine.overload(self.slow_factor)
+                outcome[machine.name] = "slow"
+            else:
+                outcome[machine.name] = "ok"
+        return outcome

@@ -1,0 +1,5 @@
+"""Information service: resource directory and wait forecasts."""
+
+from repro.mds.directory import Directory, ResourceInfo
+
+__all__ = ["Directory", "ResourceInfo"]

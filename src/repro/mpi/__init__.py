@@ -1,0 +1,6 @@
+"""MPICH-G-like layer: MPI bootstrap over the §3.3 configuration mechanisms."""
+
+from repro.mpi.comm import MiniComm
+from repro.mpi.mpiexec import MpiRun, mpiexec
+
+__all__ = ["MiniComm", "MpiRun", "mpiexec"]

@@ -1,0 +1,30 @@
+"""Addressing for the simulated network.
+
+A host is identified by a string name; services on a host listen on
+named *ports*.  An :class:`Endpoint` is the (host, port) pair messages
+are addressed to — the simulated analogue of a Globus contact string
+like ``hostname:port``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A (host, port) address on the simulated network."""
+
+    host: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Endpoint":
+        """Parse ``"host:port"`` into an Endpoint."""
+        host, sep, port = text.partition(":")
+        if not sep or not host or not port:
+            raise ValueError(f"invalid endpoint {text!r}; expected 'host:port'")
+        return cls(host, port)

@@ -1,0 +1,106 @@
+"""Network-level fault injection helpers.
+
+Thin, composable wrappers over :class:`~repro.net.network.Network`'s
+crash/partition/drop primitives, usable both imperatively from tests and
+as scheduled fault processes inside scenario simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.net.message import Message
+from repro.net.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+
+@dataclass(frozen=True)
+class HostCrash:
+    """Crash ``host`` at ``at``; optionally restore after ``duration``."""
+
+    host: str
+    at: float
+    duration: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """Partition the network into ``groups`` during [at, at+duration)."""
+
+    groups: tuple[tuple[str, ...], ...]
+    at: float
+    duration: float
+
+
+class FaultPlan:
+    """A deterministic schedule of network faults.
+
+    Build a plan, then ``install()`` it to spawn the driver processes.
+    """
+
+    def __init__(self) -> None:
+        self.crashes: list[HostCrash] = []
+        self.partitions: list[PartitionWindow] = []
+
+    def crash(self, host: str, at: float, duration: Optional[float] = None) -> "FaultPlan":
+        self.crashes.append(HostCrash(host, at, duration))
+        return self
+
+    def partition(
+        self, groups: Sequence[Sequence[str]], at: float, duration: float
+    ) -> "FaultPlan":
+        self.partitions.append(
+            PartitionWindow(tuple(tuple(g) for g in groups), at, duration)
+        )
+        return self
+
+    def install(self, network: Network) -> None:
+        env = network.env
+        for crash in self.crashes:
+            env.process(_crash_proc(env, network, crash), name=f"crash:{crash.host}")
+        for window in self.partitions:
+            env.process(_partition_proc(env, network, window), name="partition")
+
+
+def _crash_proc(env: "Environment", network: Network, crash: HostCrash):
+    if crash.at > env.now:
+        yield env.timeout(crash.at - env.now)
+    network.crash_host(crash.host)
+    if crash.duration is not None:
+        yield env.timeout(crash.duration)
+        network.restore_host(crash.host)
+
+
+def _partition_proc(env: "Environment", network: Network, window: PartitionWindow):
+    if window.at > env.now:
+        yield env.timeout(window.at - env.now)
+    network.partition(window.groups)
+    yield env.timeout(window.duration)
+    network.heal_partition()
+
+
+def random_loss(
+    network: Network,
+    probability: float,
+    rng: np.random.Generator,
+    kinds: Optional[Iterable[str]] = None,
+):
+    """Install a Bernoulli drop rule; returns the rule for removal.
+
+    ``kinds`` restricts losses to the given message kinds.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability {probability!r} outside [0, 1]")
+    kind_set = frozenset(kinds) if kinds is not None else None
+
+    def rule(message: Message) -> bool:
+        if kind_set is not None and message.kind not in kind_set:
+            return False
+        return bool(rng.random() < probability)
+
+    return network.add_drop_rule(rule)

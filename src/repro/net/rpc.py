@@ -1,0 +1,78 @@
+"""Request/response RPC over the message network.
+
+``call()`` sends a request message carrying a fresh correlation id and
+returns an event that fires with the reply payload — or fails with
+:class:`~repro.errors.RPCTimeout` if no reply arrives in time.  This is
+the primitive from which the GRAM client library and the DUROC control
+library are built; the paper's co-allocation protocol relies on exactly
+this "request may fail or time out" behaviour.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from repro.errors import RPCTimeout
+from repro.net.address import Endpoint
+from repro.net.message import Message
+from repro.net.transport import Port
+
+_corr_ids = itertools.count(1)
+
+#: Reply-kind suffix convention: a request of kind "x" is answered with
+#: a message of kind "x.reply".
+REPLY_SUFFIX = ".reply"
+
+
+class RPCError(Exception):
+    """A remote handler signalled failure; carries the remote payload."""
+
+    def __init__(self, payload: Any) -> None:
+        super().__init__(payload)
+        self.payload = payload
+
+
+def call(
+    port: Port,
+    dst: Endpoint,
+    kind: str,
+    payload: Any = None,
+    timeout: Optional[float] = None,
+) -> Generator:
+    """Perform an RPC; designed to be delegated to with ``yield from``.
+
+    Returns the reply payload.  Raises :class:`RPCTimeout` on timeout
+    and :class:`RPCError` if the remote answered with ``kind + ".error"``.
+    """
+    env = port.env
+    corr = next(_corr_ids)
+    port.send(dst, kind, payload, reply_to=port.endpoint, corr_id=corr)
+
+    reply_event = port.recv(filter=lambda m: m.corr_id == corr)
+    if timeout is None:
+        message: Message = yield reply_event
+    else:
+        deadline = env.timeout(timeout)
+        yield reply_event | deadline
+        if not reply_event.triggered:
+            reply_event.cancel()
+            raise RPCTimeout(
+                f"rpc {kind!r} to {dst} timed out after {timeout:g}s"
+            )
+        deadline.cancelled = True  # retire the timer
+        message = reply_event.value
+
+    if message.kind == kind + ".error":
+        raise RPCError(message.payload)
+    return message.payload
+
+
+def reply_ok(port: Port, request: Message, payload: Any = None) -> None:
+    """Send the success reply for ``request``."""
+    port.send_message(request.reply(request.kind + REPLY_SUFFIX, payload))
+
+
+def reply_error(port: Port, request: Message, payload: Any = None) -> None:
+    """Send the failure reply for ``request``."""
+    port.send_message(request.reply(request.kind + ".error", payload))

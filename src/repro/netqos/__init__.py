@@ -1,0 +1,27 @@
+"""Network QoS substrate: bandwidth brokering for co-allocatable flows."""
+
+from repro.netqos.agent import (
+    PARAM_BANDWIDTH,
+    PARAM_DST,
+    PARAM_SRC,
+    flow_spec_from_params,
+    make_qos_agent,
+)
+from repro.netqos.broker import (
+    BandwidthBroker,
+    FlowAllocation,
+    FlowReservation,
+    FlowSpec,
+)
+
+__all__ = [
+    "BandwidthBroker",
+    "FlowAllocation",
+    "FlowReservation",
+    "FlowSpec",
+    "PARAM_BANDWIDTH",
+    "PARAM_DST",
+    "PARAM_SRC",
+    "flow_spec_from_params",
+    "make_qos_agent",
+]

@@ -1,0 +1,79 @@
+"""Network elements as DUROC subjobs.
+
+:func:`make_qos_agent` builds a GRAM-launchable program that acquires a
+bandwidth flow during its startup checks and reports the outcome
+through the standard barrier check-in:
+
+* allocation succeeds → the subjob checks in OK and holds the flow
+  until the computation finishes (or the subjob is killed);
+* allocation fails → the subjob checks in with ``ok=False``, and the
+  ordinary §3.2 failure semantics apply (required aborts everything,
+  interactive triggers a substitution callback — e.g. picking a lower
+  bandwidth or a different path).
+
+This demonstrates §2's claim that the co-allocation mechanisms cover
+"all devices that an application might require, including networks",
+with zero changes to the co-allocator.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.applib import barrier
+from repro.errors import ReservationError, StopProcess
+from repro.machine.host import ProcessContext
+from repro.netqos.broker import BandwidthBroker, FlowSpec
+
+#: ctx.params keys the agent reads (set via SubjobSpec.environment).
+PARAM_SRC = "qos.src"
+PARAM_DST = "qos.dst"
+PARAM_BANDWIDTH = "qos.bandwidth"
+
+
+def flow_spec_from_params(ctx: ProcessContext) -> FlowSpec:
+    """Build the requested flow from the subjob's environment."""
+    return FlowSpec(
+        src=str(ctx.params[PARAM_SRC]),
+        dst=str(ctx.params[PARAM_DST]),
+        bandwidth=float(ctx.params[PARAM_BANDWIDTH]),
+    )
+
+
+def make_qos_agent(broker: BandwidthBroker, setup_time: float = 0.1):
+    """A program that pins a bandwidth flow for the computation's lifetime."""
+
+    def qos_agent(ctx: ProcessContext) -> Generator:
+        if setup_time > 0:
+            yield ctx.env.timeout(ctx.machine.startup_delay(setup_time))
+        spec = flow_spec_from_params(ctx)
+        allocation = None
+        ok, reason = True, None
+        try:
+            allocation = broker.allocate(spec)
+        except ReservationError as exc:
+            ok, reason = False, str(exc)
+
+        port = ctx.port("duroc")
+        try:
+            config = yield from barrier(ctx, port, ok=ok, reason=reason)
+        except StopProcess:
+            if allocation is not None and not allocation.released:
+                allocation.release()
+            raise
+        # Released: hold the flow while the computation runs.  The flow
+        # agent lives until killed (by DUROC kill / job completion the
+        # application signals via cancel) or forever in simulations that
+        # end earlier.
+        try:
+            hold = float(ctx.params.get("qos.hold", 0.0))
+            if hold > 0:
+                yield ctx.env.timeout(hold)
+            else:
+                yield ctx.env.event()  # hold until killed
+        finally:
+            if allocation is not None and not allocation.released:
+                allocation.release()
+        return config.global_rank()
+
+    return qos_agent

@@ -1,0 +1,224 @@
+"""Bandwidth broker: network elements as co-allocatable resources.
+
+The paper's opening example needs "several computers and network
+elements ... in order to achieve real-time reconstruction of
+experimental data", and §2 defines resources to include networks.  The
+related work surveys advance reservation of network paths [28, 10, 8,
+16, 2]; this module provides the minimal such substrate:
+
+* a :class:`BandwidthBroker` managing directed link capacities between
+  host pairs;
+* immediate *allocations* (grab bandwidth now) and *advance
+  reservations* (a window in the future), with admission control.
+
+Network elements join a co-allocation through the ordinary DUROC
+mechanisms: a one-process subjob runs :func:`qos_agent_program` on the
+broker's host, which attempts the allocation during startup and reports
+success/failure through the standard barrier check-in — no co-allocator
+changes needed, exactly the generality §3.1 claims.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ReservationError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+_flow_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """A requested bandwidth allocation between two hosts (Mb/s)."""
+
+    src: str
+    dst: str
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ReproError(f"bandwidth must be positive, got {self.bandwidth!r}")
+
+
+@dataclass
+class FlowAllocation:
+    """A granted flow; release exactly once."""
+
+    flow_id: int
+    spec: FlowSpec
+    granted_at: float
+    broker: "BandwidthBroker"
+    released: bool = False
+
+    def release(self) -> None:
+        if self.released:
+            raise ReproError("flow already released")
+        self.released = True
+        self.broker._release(self)
+
+
+@dataclass(frozen=True)
+class FlowReservation:
+    """A committed future window of bandwidth on a link."""
+
+    resv_id: int
+    spec: FlowSpec
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        return self.start < t1 and t0 < self.end
+
+
+class BandwidthBroker:
+    """Capacity bookkeeping for a set of directed links."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: (src, dst) -> capacity in Mb/s.
+        self._capacity: dict[tuple[str, str], float] = {}
+        #: (src, dst) -> currently allocated Mb/s.
+        self._allocated: dict[tuple[str, str], float] = {}
+        self._reservations: dict[int, FlowReservation] = {}
+        self.rejections = 0
+
+    # -- topology ---------------------------------------------------------
+
+    def add_link(self, src: str, dst: str, capacity: float,
+                 symmetric: bool = True) -> None:
+        if capacity <= 0:
+            raise ReproError(f"capacity must be positive, got {capacity!r}")
+        self._capacity[(src, dst)] = capacity
+        self._allocated.setdefault((src, dst), 0.0)
+        if symmetric:
+            self._capacity[(dst, src)] = capacity
+            self._allocated.setdefault((dst, src), 0.0)
+
+    def capacity(self, src: str, dst: str) -> float:
+        try:
+            return self._capacity[(src, dst)]
+        except KeyError:
+            raise ReproError(f"no managed link {src!r} -> {dst!r}") from None
+
+    def available(self, src: str, dst: str, t0: Optional[float] = None,
+                  t1: Optional[float] = None) -> float:
+        """Free bandwidth now, or the worst case over [t0, t1)."""
+        cap = self.capacity(src, dst)
+        current = self._allocated[(src, dst)]
+        if t0 is None:
+            t0 = self.env.now
+        if t1 is None:
+            t1 = t0
+        reserved = self._peak_reserved(src, dst, t0, t1 + 1e-9)
+        return cap - current - reserved
+
+    def _peak_reserved(self, src: str, dst: str, t0: float, t1: float) -> float:
+        """Peak committed reservation load on the link over [t0, t1)."""
+        relevant = [
+            r for r in self._reservations.values()
+            if (r.spec.src, r.spec.dst) == (src, dst) and r.overlaps(t0, t1)
+        ]
+        if not relevant:
+            return 0.0
+        edges = sorted({t0} | {r.start for r in relevant if t0 < r.start < t1})
+        peak = 0.0
+        for t in edges:
+            total = sum(
+                r.spec.bandwidth for r in relevant if r.start <= t < r.end
+            )
+            peak = max(peak, total)
+        return peak
+
+    # -- immediate allocation -------------------------------------------------
+
+    def allocate(self, spec: FlowSpec) -> FlowAllocation:
+        """Grab bandwidth now; raises :class:`ReservationError` if full.
+
+        Admission accounts for reservations whose window is open now.
+        """
+        self._expire()
+        key = (spec.src, spec.dst)
+        now = self.env.now
+        if self.available(spec.src, spec.dst, now, now) < spec.bandwidth:
+            self.rejections += 1
+            raise ReservationError(
+                f"link {spec.src}->{spec.dst}: "
+                f"{spec.bandwidth:g} Mb/s unavailable"
+            )
+        self._allocated[key] += spec.bandwidth
+        return FlowAllocation(
+            flow_id=next(_flow_ids),
+            spec=spec,
+            granted_at=now,
+            broker=self,
+        )
+
+    def _release(self, allocation: FlowAllocation) -> None:
+        key = (allocation.spec.src, allocation.spec.dst)
+        self._allocated[key] -= allocation.spec.bandwidth
+
+    # -- advance reservation -----------------------------------------------------
+
+    def reserve(self, spec: FlowSpec, start: float, duration: float) -> FlowReservation:
+        """Commit a future bandwidth window (advance reservation)."""
+        if duration <= 0:
+            raise ReservationError(f"duration must be positive, got {duration!r}")
+        if start < self.env.now:
+            raise ReservationError(f"start {start!r} is in the past")
+        self._expire()
+        # Conservative admission: current allocations are assumed to
+        # persist into the window (callers can be smarter).
+        if self.available(spec.src, spec.dst, start, start + duration) < spec.bandwidth:
+            self.rejections += 1
+            raise ReservationError(
+                f"link {spec.src}->{spec.dst}: cannot reserve "
+                f"{spec.bandwidth:g} Mb/s over [{start:g}, {start + duration:g})"
+            )
+        resv = FlowReservation(
+            resv_id=next(_flow_ids),
+            spec=spec,
+            start=start,
+            duration=duration,
+        )
+        self._reservations[resv.resv_id] = resv
+        return resv
+
+    def claim(self, resv_id: int) -> FlowAllocation:
+        """Turn an open reservation window into a live allocation."""
+        resv = self._reservations.get(resv_id)
+        if resv is None:
+            raise ReservationError(f"unknown reservation {resv_id!r}")
+        now = self.env.now
+        if not resv.start <= now < resv.end:
+            raise ReservationError(
+                f"reservation {resv_id} window [{resv.start:g}, {resv.end:g}) "
+                f"is not open at t={now:g}"
+            )
+        del self._reservations[resv_id]
+        key = (resv.spec.src, resv.spec.dst)
+        self._allocated[key] += resv.spec.bandwidth
+        return FlowAllocation(
+            flow_id=next(_flow_ids),
+            spec=resv.spec,
+            granted_at=now,
+            broker=self,
+        )
+
+    def cancel(self, resv_id: int) -> None:
+        if self._reservations.pop(resv_id, None) is None:
+            raise ReservationError(f"unknown reservation {resv_id!r}")
+
+    def _expire(self) -> None:
+        now = self.env.now
+        for resv_id, resv in list(self._reservations.items()):
+            if resv.end <= now:
+                del self._reservations[resv_id]

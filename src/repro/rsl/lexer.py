@@ -1,0 +1,101 @@
+"""Tokenizer for RSL text.
+
+Token kinds: ``(`` ``)`` ``&`` ``|`` ``+`` ``=``, bare-word ATOMs
+(``count``, ``4``, ``my-host.domain``) and quoted STRINGs
+(``"a value with spaces"``, with ``""`` as the escaped quote, as in
+Globus RSL).  Quoted strings are never numerically coerced by the
+parser.  ``#`` starts a comment running to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import RSLSyntaxError
+
+#: Characters that terminate a bare word.
+_PUNCT = set("()&|+=\"#$")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # one of: LPAREN RPAREN AMP PIPE PLUS EQUALS DOLLAR ATOM STRING EOF
+    text: str
+    pos: int  # character offset, for error messages
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.line}:{self.col}>"
+
+
+_SIMPLE = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "&": "AMP",
+    "|": "PIPE",
+    "+": "PLUS",
+    "=": "EQUALS",
+    "$": "DOLLAR",
+}
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens, ending with a single EOF token."""
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        col = i - line_start + 1
+        if ch in _SIMPLE:
+            yield Token(_SIMPLE[ch], ch, i, line, col)
+            i += 1
+            continue
+        if ch == '"':
+            start = i
+            i += 1
+            chunks: list[str] = []
+            while True:
+                if i >= n:
+                    raise RSLSyntaxError(
+                        f"unterminated string starting at line {line}, col {col}"
+                    )
+                if text[i] == '"':
+                    if i + 1 < n and text[i + 1] == '"':
+                        chunks.append('"')
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                if text[i] == "\n":
+                    line += 1
+                    line_start = i + 1
+                chunks.append(text[i])
+                i += 1
+            yield Token("STRING", "".join(chunks), start, line, col)
+            continue
+        # Bare word.
+        start = i
+        while i < n and not text[i].isspace() and text[i] not in _PUNCT:
+            i += 1
+        if i == start:
+            raise RSLSyntaxError(
+                f"unexpected character {ch!r} at line {line}, col {col}"
+            )
+        yield Token("ATOM", text[start:i], start, line, col)
+    yield Token("EOF", "", n, line, n - line_start + 1)

@@ -1,0 +1,160 @@
+"""Recursive-descent parser for RSL.
+
+Grammar (after Globus RSL, restricted to the constructs the paper uses)::
+
+    spec        := multi | disj | conj | relation
+    multi       := '+' speclist
+    disj        := '|' speclist
+    conj        := '&' speclist
+    speclist    := '(' spec ')' { '(' spec ')' }
+    relation    := atom '=' value { value }
+    value       := atom | '(' spec ')'
+
+Numbers are converted to int/float; everything else stays a string.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import RSLSyntaxError
+from repro.rsl.ast import (
+    Conjunction,
+    Disjunction,
+    MultiRequest,
+    Relation,
+    Specification,
+    Value,
+    ValueSequence,
+    Variable,
+)
+from repro.rsl.lexer import Token, tokenize
+
+
+def _coerce(text: str) -> Union[str, int, float]:
+    """Interpret a bare atom as int, then float, else string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = list(tokenize(text))
+        self.pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.current
+        if token.kind != kind:
+            raise RSLSyntaxError(
+                f"expected {kind} but found {token.kind} ({token.text!r}) "
+                f"at line {token.line}, col {token.col}"
+            )
+        return self.advance()
+
+    def parse(self) -> Specification:
+        spec = self.parse_spec()
+        token = self.current
+        if token.kind != "EOF":
+            raise RSLSyntaxError(
+                f"trailing input {token.text!r} at line {token.line}, col {token.col}"
+            )
+        return spec
+
+    def parse_spec(self) -> Specification:
+        token = self.current
+        if token.kind == "PLUS":
+            self.advance()
+            return MultiRequest(tuple(self.parse_speclist()))
+        if token.kind == "PIPE":
+            self.advance()
+            return Disjunction(tuple(self.parse_speclist()))
+        if token.kind == "AMP":
+            self.advance()
+            return Conjunction(tuple(self.parse_speclist()))
+        if token.kind == "ATOM":
+            return self.parse_relation()
+        raise RSLSyntaxError(
+            f"expected a specification but found {token.kind} "
+            f"at line {token.line}, col {token.col}"
+        )
+
+    def parse_speclist(self) -> list[Specification]:
+        specs: list[Specification] = []
+        self.expect("LPAREN")
+        specs.append(self.parse_spec())
+        self.expect("RPAREN")
+        while self.current.kind == "LPAREN":
+            self.advance()
+            specs.append(self.parse_spec())
+            self.expect("RPAREN")
+        return specs
+
+    def parse_relation(self) -> Relation:
+        name = self.expect("ATOM")
+        self.expect("EQUALS")
+        values = self.parse_values()
+        if not values:
+            raise RSLSyntaxError(
+                f"relation {name.text!r} has no value "
+                f"at line {name.line}, col {name.col}"
+            )
+        return Relation(name.text, tuple(values))
+
+    def parse_values(self) -> list[Value]:
+        """Zero or more values: atoms, strings, or ``(v1 v2 ...)`` groups."""
+        values: list[Value] = []
+        while True:
+            token = self.current
+            if token.kind == "ATOM":
+                self.advance()
+                values.append(_coerce(token.text))
+            elif token.kind == "STRING":
+                self.advance()
+                values.append(token.text)
+            elif token.kind == "DOLLAR":
+                self.advance()
+                self.expect("LPAREN")
+                name = self.expect("ATOM")
+                self.expect("RPAREN")
+                values.append(Variable(str(name.text)))
+            elif token.kind == "LPAREN":
+                self.advance()
+                values.append(ValueSequence(tuple(self.parse_values())))
+                self.expect("RPAREN")
+            else:
+                break
+        return values
+
+
+def parse(text: str) -> Specification:
+    """Parse RSL text into a :class:`Specification` tree."""
+    if not text or not text.strip():
+        raise RSLSyntaxError("empty RSL text")
+    return _Parser(text).parse()
+
+
+def parse_multirequest(text: str) -> MultiRequest:
+    """Parse text that must be a ``+`` multi-request (co-allocation)."""
+    spec = parse(text)
+    if not isinstance(spec, MultiRequest):
+        raise RSLSyntaxError(
+            f"expected a '+' multi-request, got {type(spec).__name__}"
+        )
+    return spec

@@ -1,0 +1,90 @@
+"""Unparser: Specification tree → canonical RSL text.
+
+``parse(unparse(spec))`` is the identity on specification trees (the
+property tests check this), with strings quoted only when necessary.
+"""
+
+from __future__ import annotations
+
+from repro.rsl.ast import (
+    Conjunction,
+    Disjunction,
+    MultiRequest,
+    Relation,
+    Specification,
+    Value,
+    ValueSequence,
+    Variable,
+)
+
+_BARE_FORBIDDEN = set(" \t\n()&|+=\"#$")
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, Variable):
+        return f"$({value.name})"
+    if isinstance(value, ValueSequence):
+        inner = " ".join(_format_value(v) for v in value.values)
+        return f"({inner})"
+    if isinstance(value, Specification):
+        return f"({unparse(value)})"
+    if isinstance(value, bool):  # bool is an int subclass; keep it textual
+        return '"True"' if value else '"False"'
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        # 'e+' would lex as punctuation; 1e+20 and 1e20 parse identically.
+        return repr(value).replace("e+", "e")
+    text = str(value)
+    needs_quote = (
+        text == ""
+        or any(c in _BARE_FORBIDDEN for c in text)
+        or _looks_numeric(text)
+    )
+    if needs_quote:
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def _looks_numeric(text: str) -> bool:
+    """A string that would re-parse as a number must be quoted."""
+    try:
+        int(text)
+        return True
+    except ValueError:
+        pass
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def unparse(spec: Specification) -> str:
+    """Render a specification as canonical single-line RSL text."""
+    if isinstance(spec, Relation):
+        values = " ".join(_format_value(v) for v in spec.values)
+        return f"{spec.attribute}={values}"
+    if isinstance(spec, MultiRequest):
+        prefix = "+"
+    elif isinstance(spec, Disjunction):
+        prefix = "|"
+    elif isinstance(spec, Conjunction):
+        prefix = "&"
+    else:
+        raise TypeError(f"cannot unparse {spec!r}")
+    inner = "".join(f"({unparse(child)})" for child in spec.children)
+    return prefix + inner
+
+
+def pretty(spec: Specification, indent: int = 0) -> str:
+    """Render with one child per line, as in the paper's Fig. 1."""
+    pad = "    " * indent
+    if isinstance(spec, Relation):
+        return pad + unparse(spec)
+    prefix = {MultiRequest: "+", Disjunction: "|", Conjunction: "&"}[type(spec)]
+    lines = [pad + prefix]
+    for child in spec.children:
+        body = pretty(child, indent + 1).lstrip()
+        lines.append(f"{pad}({body})")
+    return "\n".join(lines)

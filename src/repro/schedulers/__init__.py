@@ -1,0 +1,32 @@
+"""Local scheduling policies: fork, FCFS, EASY backfill, reservations."""
+
+from repro.schedulers.backfill import EasyBackfillScheduler
+from repro.schedulers.base import (
+    Lease,
+    LocalScheduler,
+    NodeRequest,
+    PendingAllocation,
+)
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.fork import ForkScheduler
+from repro.schedulers.prediction import (
+    HistoryPredictor,
+    PlanBasedPredictor,
+    WaitPredictor,
+)
+from repro.schedulers.reservation import Reservation, ReservationScheduler
+
+__all__ = [
+    "EasyBackfillScheduler",
+    "FcfsScheduler",
+    "ForkScheduler",
+    "HistoryPredictor",
+    "Lease",
+    "LocalScheduler",
+    "NodeRequest",
+    "PendingAllocation",
+    "PlanBasedPredictor",
+    "Reservation",
+    "ReservationScheduler",
+    "WaitPredictor",
+]

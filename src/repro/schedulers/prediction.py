@@ -1,0 +1,72 @@
+"""Queue-wait prediction.
+
+§2.2: a resource manager "can publish information about the current
+queue contents and scheduling policy, or publish forecasts (based, for
+example, on queue time prediction algorithms [9, 26])".  Two predictors
+are provided:
+
+* :class:`PlanBasedPredictor` — replays the scheduler's current state
+  (Downey-style structural prediction), delegating to the scheduler's
+  own ``estimate_wait``;
+* :class:`HistoryPredictor` — Smith/Foster/Taylor-style: the mean wait
+  of recent *similar* jobs, where similarity is node count within a
+  factor of two.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from repro.schedulers.base import LocalScheduler
+
+
+class WaitPredictor(Protocol):
+    """Common predictor interface used by the information service."""
+
+    def predict(self, count: int, max_time: Optional[float] = None) -> float:
+        """Estimated queue wait in seconds for a hypothetical request."""
+        ...
+
+
+class PlanBasedPredictor:
+    """Forward-simulates the scheduler's current queue."""
+
+    def __init__(self, scheduler: LocalScheduler) -> None:
+        self.scheduler = scheduler
+
+    def predict(self, count: int, max_time: Optional[float] = None) -> float:
+        return self.scheduler.estimate_wait(count, max_time)
+
+
+class HistoryPredictor:
+    """Mean wait of recent similar jobs (by node count)."""
+
+    def __init__(
+        self,
+        scheduler: LocalScheduler,
+        window: int = 50,
+        similarity_factor: float = 2.0,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window!r}")
+        if similarity_factor < 1.0:
+            raise ValueError("similarity_factor must be >= 1")
+        self.scheduler = scheduler
+        self.window = window
+        self.similarity_factor = similarity_factor
+
+    def predict(self, count: int, max_time: Optional[float] = None) -> float:
+        recent = self.scheduler.history[-self.window:]
+        lo = count / self.similarity_factor
+        hi = count * self.similarity_factor
+        waits = [
+            granted - submitted
+            for submitted, granted, n in recent
+            if lo <= n <= hi
+        ]
+        if not waits:
+            # No similar history: fall back to all recent jobs, then 0.
+            waits = [granted - submitted for submitted, granted, _ in recent]
+        if not waits:
+            return 0.0
+        return sum(waits) / len(waits)

@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel.
+
+A minimal, deterministic, generator-driven simulator in the SimPy style:
+
+>>> from repro.simcore import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3.0)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run(proc)
+3.0
+"""
+
+from repro.simcore.environment import Environment, FOREVER
+from repro.simcore.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.simcore.process import Interrupt, Process
+from repro.simcore.resources import Container, Resource, Store
+from repro.simcore.rng import RngRegistry, jittered
+from repro.simcore.tracing import Mark, NullTracer, Span, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "Environment",
+    "Event",
+    "FOREVER",
+    "Interrupt",
+    "Mark",
+    "NullTracer",
+    "Process",
+    "Resource",
+    "RngRegistry",
+    "Span",
+    "Store",
+    "Timeout",
+    "Tracer",
+    "jittered",
+]

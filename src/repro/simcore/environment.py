@@ -1,0 +1,192 @@
+"""The discrete-event execution environment.
+
+:class:`Environment` owns simulated time and the pending-event heap.
+``run()`` pops events in (time, priority, sequence) order and invokes
+their callbacks; processes resume as callbacks of the events they wait
+on.  Time only advances between events — callbacks execute atomically
+at one instant, which gives the deterministic interleaving the
+co-allocation protocol tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    NORMAL,
+    Timeout,
+)
+from repro.simcore.process import Process, ProcessGenerator
+
+#: Sentinel "infinite" horizon for run().
+FOREVER = float("inf")
+
+
+class EmptySchedule(SimulationError):
+    """Internal signal: the event heap is exhausted."""
+
+
+class _StopSimulation(BaseException):
+    """Internal control-flow exception that ends :meth:`Environment.run`."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """Container for simulated time, the event queue, and factories.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- time & introspection ---------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled live event (``inf`` if none)."""
+        while self._queue and self._queue[0][3].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else FOREVER
+
+    @property
+    def queue_size(self) -> int:
+        """Number of scheduled-but-unprocessed events."""
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Queue ``event`` to be processed after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the single next event, advancing the clock to it.
+
+        Cancelled events are discarded without advancing the clock, so
+        retired timers never prolong a simulation.
+        """
+        while True:
+            try:
+                when, _, _, event = heapq.heappop(self._queue)
+            except IndexError:
+                raise EmptySchedule("event queue is empty") from None
+            if not event.cancelled:
+                break
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event.defused:
+            # An unhandled failure: surface it to the caller of run().
+            exc = event.value
+            raise exc
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until it is processed, returning its
+          value (or raising its exception).
+        """
+        stop: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:
+                # Already processed.
+                if stop._ok:
+                    return stop.value
+                raise stop.value
+            stop.callbacks.append(self._stop_callback)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(
+                    f"until={horizon!r} is in the past (now={self._now!r})"
+                )
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            stop.callbacks.append(self._stop_callback)
+            self.schedule(stop, priority=NORMAL + 1, delay=horizon - self._now)
+
+        try:
+            while True:
+                self.step()
+        except _StopSimulation as signal:
+            return signal.value
+        except EmptySchedule:
+            if stop is not None and stop.callbacks is not None:
+                if isinstance(until, Event):
+                    raise SimulationError(
+                        "run() ran out of events before the awaited event fired"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise _StopSimulation(event.value)
+        # The awaited event failed: propagate its exception out of run().
+        event.defused = True
+        raise event.value
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires once all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now!r} queued={len(self._queue)}>"

@@ -1,0 +1,237 @@
+"""Shared-resource primitives: Resource, Container, Store.
+
+These are the queueing building blocks the local schedulers and network
+mailboxes are made of:
+
+* :class:`Resource` — ``capacity`` identical slots with a FIFO wait
+  queue (used to model e.g. a gatekeeper that serves one authentication
+  at a time).
+* :class:`Container` — a homogeneous bulk quantity (used to model the
+  free-node pool of a space-shared machine).
+* :class:`Store` — a FIFO of distinct Python objects (used as message
+  mailboxes and job queues).
+
+All requests are events, so processes simply ``yield store.get()``.
+Requests may be canceled before they fire (e.g. on RPC timeout) via
+:meth:`BaseRequest.cancel`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.simcore.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+
+class BaseRequest(Event):
+    """An event representing a pending request against a resource."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "_BaseResource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def cancel(self) -> bool:
+        """Withdraw the request if it has not yet been granted.
+
+        Returns True if the request was withdrawn, False if it had
+        already triggered (in which case the caller owns the result and
+        must release/put it back explicitly if unwanted).
+        """
+        if self.triggered:
+            return False
+        self.resource._withdraw(self)
+        # Fire the event as failed-but-defused so anything composed on it
+        # (conditions) resolves rather than leaking.
+        self._ok = True
+        self._value = None
+        self.callbacks = None
+        return True
+
+
+class _BaseResource:
+    """Common queue bookkeeping for all resource types."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self._waiters: Deque[BaseRequest] = deque()
+
+    def _withdraw(self, request: BaseRequest) -> None:
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            pass
+
+    def _wake(self) -> None:
+        """Grant as many queued requests as currently possible (FIFO)."""
+        while self._waiters:
+            request = self._waiters[0]
+            if not self._try_grant(request):
+                break
+            self._waiters.popleft()
+
+    def _try_grant(self, request: BaseRequest) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Resource(_BaseResource):
+    """``capacity`` identical slots with FIFO queueing."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity!r}")
+        super().__init__(env)
+        self.capacity = int(capacity)
+        self.in_use = 0
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> BaseRequest:
+        """Event that fires when a slot is acquired."""
+        req = BaseRequest(self)
+        self._waiters.append(req)
+        self._wake()
+        return req
+
+    def release(self) -> None:
+        """Return one slot to the pool."""
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request")
+        self.in_use -= 1
+        self._wake()
+
+    def _try_grant(self, request: BaseRequest) -> bool:
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            request.succeed()
+            return True
+        return False
+
+
+class ContainerGet(BaseRequest):
+    """Pending ``get`` of a quantity from a :class:`Container`."""
+
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        super().__init__(container)
+        self.amount = amount
+
+
+class Container(_BaseResource):
+    """A bulk quantity with blocking ``get`` and immediate ``put``."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if init < 0 or init > capacity:
+            raise SimulationError(f"init={init!r} outside [0, {capacity!r}]")
+        super().__init__(env)
+        self.capacity = capacity
+        self.level = init
+
+    def get(self, amount: float) -> BaseRequest:
+        """Event that fires once ``amount`` units have been withdrawn."""
+        if amount < 0:
+            raise SimulationError(f"negative amount {amount!r}")
+        req = ContainerGet(self, amount)
+        self._waiters.append(req)
+        self._wake()
+        return req
+
+    def put(self, amount: float) -> None:
+        """Deposit ``amount`` units (never blocks; overflow is an error)."""
+        if amount < 0:
+            raise SimulationError(f"negative amount {amount!r}")
+        if self.level + amount > self.capacity:
+            raise SimulationError("container overflow")
+        self.level += amount
+        self._wake()
+
+    def _try_grant(self, request: BaseRequest) -> bool:
+        assert isinstance(request, ContainerGet)
+        amount = request.amount
+        if self.level >= amount:
+            self.level -= amount
+            request.succeed(amount)
+            return True
+        return False
+
+
+class StoreGet(BaseRequest):
+    """Pending ``get`` against a :class:`Store`, optionally filtered."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]]) -> None:
+        self.filter = filter
+        super().__init__(store)
+
+
+class Store(_BaseResource):
+    """FIFO of distinct items with blocking ``get``.
+
+    ``get(filter=...)`` retrieves the first item matching the predicate,
+    which lets one mailbox demultiplex several message kinds (the RPC
+    layer matches replies by request id this way).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        super().__init__(env)
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+
+    def put(self, item: Any) -> None:
+        """Add an item (never blocks; overflow is an error)."""
+        if len(self.items) >= self.capacity:
+            raise SimulationError("store overflow")
+        self.items.append(item)
+        self._wake()
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Event that fires with the next (matching) item."""
+        req = StoreGet(self, filter)
+        self._waiters.append(req)
+        self._wake()
+        return req
+
+    def _try_grant(self, request: BaseRequest) -> bool:
+        assert isinstance(request, StoreGet)
+        if request.filter is None:
+            if self.items:
+                request.succeed(self.items.popleft())
+                return True
+            return False
+        for idx, item in enumerate(self.items):
+            if request.filter(item):
+                del self.items[idx]
+                request.succeed(item)
+                return True
+        return False
+
+    def _wake(self) -> None:
+        # Unlike slot resources, a filtered waiter at the head must not
+        # block later waiters whose filters match: scan all waiters.
+        idx = 0
+        while idx < len(self._waiters):
+            request = self._waiters[idx]
+            if self._try_grant(request):
+                del self._waiters[idx]
+                # Restart: granting may have consumed items others wanted.
+                idx = 0
+            else:
+                idx += 1
+
+    def __len__(self) -> int:
+        return len(self.items)

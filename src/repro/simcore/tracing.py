@@ -1,0 +1,152 @@
+"""Structured trace recording.
+
+Components record *spans* (named intervals with attributes) and *marks*
+(instantaneous annotated points).  The Fig. 5 timeline reproduction and
+the Fig. 3 cost breakdown are both queries over a trace, and the
+determinism tests compare traces across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval of simulated time with free-form attributes."""
+
+    name: str
+    start: float
+    end: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def key(self) -> tuple:
+        """Hashable identity used by determinism comparisons."""
+        return (self.name, self.start, self.end, tuple(sorted(self.attrs.items())))
+
+
+@dataclass(frozen=True)
+class Mark:
+    """An instantaneous annotated event."""
+
+    name: str
+    time: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        return (self.name, self.time, tuple(sorted(self.attrs.items())))
+
+
+class _OpenSpan:
+    """Context manager that records a span on exit."""
+
+    __slots__ = ("tracer", "name", "attrs", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start = tracer.env.now
+
+    def __enter__(self) -> "_OpenSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.tracer.spans.append(
+            Span(self.name, self.start, self.tracer.env.now, dict(self.attrs))
+        )
+
+    def close(self) -> None:
+        self.__exit__(None, None, None)
+
+
+class Tracer:
+    """Collects spans and marks against an environment's clock."""
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.spans: list[Span] = []
+        self.marks: list[Mark] = []
+
+    def span(self, name: str, **attrs: Any) -> _OpenSpan:
+        """Open a span; close it via ``with`` or :meth:`_OpenSpan.close`.
+
+        Note: spans opened across a process ``yield`` must be closed
+        explicitly (the ``with`` form only works for purely synchronous
+        sections); :meth:`record` is often simpler for yield-spanning
+        intervals.
+        """
+        return _OpenSpan(self, name, attrs)
+
+    def record(self, name: str, start: float, end: float, **attrs: Any) -> Span:
+        """Record a completed span directly."""
+        span = Span(name, start, end, attrs)
+        self.spans.append(span)
+        return span
+
+    def mark(self, name: str, **attrs: Any) -> Mark:
+        """Record an instantaneous mark at the current time."""
+        mark = Mark(name, self.env.now, attrs)
+        self.marks.append(mark)
+        return mark
+
+    # -- queries -----------------------------------------------------------
+
+    def spans_named(self, name: str, **attr_filter: Any) -> list[Span]:
+        """All spans with the given name whose attrs include the filter."""
+        return [s for s in self.spans if s.name == name and _match(s.attrs, attr_filter)]
+
+    def marks_named(self, name: str, **attr_filter: Any) -> list[Mark]:
+        return [m for m in self.marks if m.name == name and _match(m.attrs, attr_filter)]
+
+    def total(self, name: str, **attr_filter: Any) -> float:
+        """Summed duration of all matching spans."""
+        return sum(s.duration for s in self.spans_named(name, **attr_filter))
+
+    def timeline(self) -> Iterator[tuple[float, str, str]]:
+        """All span edges and marks in time order, for rendering."""
+        entries: list[tuple[float, str, str]] = []
+        for s in self.spans:
+            entries.append((s.start, "begin", s.name))
+            entries.append((s.end, "end", s.name))
+        for m in self.marks:
+            entries.append((m.time, "mark", m.name))
+        entries.sort(key=lambda e: (e[0], e[1], e[2]))
+        return iter(entries)
+
+    def fingerprint(self) -> tuple:
+        """Order-insensitive hashable digest used by determinism tests."""
+        return (
+            tuple(sorted(s.key() for s in self.spans)),
+            tuple(sorted(m.key() for m in self.marks)),
+        )
+
+
+def _match(attrs: dict[str, Any], attr_filter: dict[str, Any]) -> bool:
+    return all(attrs.get(k) == v for k, v in attr_filter.items())
+
+
+class NullTracer(Tracer):
+    """Tracer that drops everything — for hot paths when not measuring."""
+
+    def __init__(self) -> None:  # noqa: D401 - no env needed
+        self.spans = _DropList()
+        self.marks = _DropList()
+        self.env = _FrozenClock()
+
+
+class _DropList(list):
+    def append(self, item: Any) -> None:  # noqa: D401
+        pass
+
+
+class _FrozenClock:
+    now = 0.0

@@ -1,0 +1,37 @@
+"""Workload and scenario generation."""
+
+from repro.workloads.background import BackgroundLoad, LoadSpec
+from repro.workloads.scenarios import (
+    SF_EXPRESS_COUNTS,
+    SF_EXPRESS_SIZES,
+    Scenario,
+    microtomography,
+    motivating_scenario,
+    sf_express,
+)
+from repro.workloads.traces import TraceJob, TraceReplayer, TraceStats, WorkloadModel
+from repro.workloads.synthetic import (
+    GridSpec,
+    build_grid,
+    split_processes,
+    uniform_request,
+)
+
+__all__ = [
+    "BackgroundLoad",
+    "GridSpec",
+    "LoadSpec",
+    "SF_EXPRESS_COUNTS",
+    "SF_EXPRESS_SIZES",
+    "Scenario",
+    "TraceJob",
+    "TraceReplayer",
+    "TraceStats",
+    "WorkloadModel",
+    "build_grid",
+    "microtomography",
+    "motivating_scenario",
+    "sf_express",
+    "split_processes",
+    "uniform_request",
+]

@@ -1,0 +1,178 @@
+"""Realistic parallel-workload generation.
+
+The simple Poisson/geometric :class:`~repro.workloads.background.LoadSpec`
+is fine for smoke experiments; this module provides a workload model in
+the spirit of the classic parallel-workload-archive fits (Feitelson,
+Lublin):
+
+* job sizes biased toward powers of two;
+* lognormal runtimes (many short jobs, a heavy tail);
+* a day/night arrival-rate cycle;
+* user runtime *estimates* that overestimate by a lognormal factor
+  (what EASY backfill and the wait predictors actually receive).
+
+Everything is parameterized and seeded, and generated jobs can be
+replayed through any local scheduler via :class:`TraceReplayer`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.gram.site import Site
+from repro.schedulers.base import NodeRequest
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One synthetic batch job."""
+
+    job_id: str
+    arrival: float
+    nodes: int
+    runtime: float
+    estimate: float
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.runtime <= 0 or self.estimate <= 0:
+            raise ValueError(f"invalid trace job {self!r}")
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Parameters of the synthetic workload.
+
+    Defaults give a moderately loaded machine: mean inter-arrival 60 s
+    at the daily peak, mean runtime ~8 min with a heavy tail, jobs up
+    to ``max_nodes``.
+    """
+
+    max_nodes: int = 64
+    #: Mean inter-arrival seconds at the daily peak.
+    peak_interarrival: float = 60.0
+    #: Night-time arrival slowdown factor (>= 1).
+    night_factor: float = 3.0
+    #: Lognormal runtime parameters (of ln seconds).
+    runtime_mu: float = 5.0       # median ~148 s
+    runtime_sigma: float = 1.2
+    #: Probability a job size is a power of two.
+    p_power_of_two: float = 0.75
+    #: Lognormal overestimation factor parameters.
+    estimate_mu: float = 0.7      # median ~2x overestimate
+    estimate_sigma: float = 0.5
+    #: Seconds per simulated day (for the arrival cycle).
+    day_length: float = 86_400.0
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+        if self.peak_interarrival <= 0:
+            raise ValueError("peak_interarrival must be positive")
+        if self.night_factor < 1.0:
+            raise ValueError("night_factor must be >= 1")
+
+    # -- draws ---------------------------------------------------------------
+
+    def draw_nodes(self, rng: np.random.Generator) -> int:
+        """Power-of-two-biased size in [1, max_nodes]."""
+        max_exp = int(math.floor(math.log2(self.max_nodes)))
+        if rng.random() < self.p_power_of_two:
+            return int(2 ** rng.integers(0, max_exp + 1))
+        return int(rng.integers(1, self.max_nodes + 1))
+
+    def draw_runtime(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.runtime_mu, self.runtime_sigma))
+
+    def draw_estimate(self, rng: np.random.Generator, runtime: float) -> float:
+        factor = float(rng.lognormal(self.estimate_mu, self.estimate_sigma))
+        return runtime * max(1.0, factor)
+
+    def arrival_rate_factor(self, t: float) -> float:
+        """1.0 at the daily peak, down to 1/night_factor at the trough."""
+        phase = 2.0 * math.pi * (t % self.day_length) / self.day_length
+        # Peak mid-day (phase pi), trough at midnight (phase 0).
+        level = 0.5 * (1.0 - math.cos(phase))  # 0 at midnight, 1 midday
+        low = 1.0 / self.night_factor
+        return low + (1.0 - low) * level
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        horizon: float,
+        start: float = 0.0,
+        prefix: str = "trace",
+    ) -> Iterator[TraceJob]:
+        """Yield jobs with arrivals in [start, start+horizon)."""
+        t = start
+        seq = 0
+        while True:
+            rate = self.arrival_rate_factor(t) / self.peak_interarrival
+            t += float(rng.exponential(1.0 / rate))
+            if t >= start + horizon:
+                return
+            seq += 1
+            runtime = self.draw_runtime(rng)
+            yield TraceJob(
+                job_id=f"{prefix}-{seq}",
+                arrival=t,
+                nodes=min(self.draw_nodes(rng), self.max_nodes),
+                runtime=runtime,
+                estimate=self.draw_estimate(rng, runtime),
+            )
+
+
+@dataclass
+class TraceStats:
+    """Aggregate outcomes of a replay."""
+
+    submitted: int = 0
+    completed: int = 0
+    waits: list[float] = field(default_factory=list)
+
+    @property
+    def mean_wait(self) -> float:
+        return sum(self.waits) / len(self.waits) if self.waits else 0.0
+
+    @property
+    def p95_wait(self) -> float:
+        if not self.waits:
+            return 0.0
+        ordered = sorted(self.waits)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+class TraceReplayer:
+    """Drive a pre-generated job list into one site's local scheduler."""
+
+    def __init__(self, site: Site, jobs: list[TraceJob]) -> None:
+        self.site = site
+        self.jobs = sorted(jobs, key=lambda j: j.arrival)
+        self.stats = TraceStats()
+        self.process = site.env.process(
+            self._replay(), name=f"trace:{site.name}"
+        )
+
+    def _replay(self):
+        env = self.site.env
+        for job in self.jobs:
+            if job.arrival > env.now:
+                yield env.timeout(job.arrival - env.now)
+            env.process(self._run(job), name=f"trace-job:{job.job_id}")
+            self.stats.submitted += 1
+
+    def _run(self, job: TraceJob):
+        env = self.site.env
+        nodes = min(job.nodes, self.site.scheduler.nodes)
+        pending = self.site.scheduler.submit(
+            NodeRequest(count=nodes, max_time=job.estimate, job_id=job.job_id)
+        )
+        submitted = env.now
+        lease = yield pending.event
+        self.stats.waits.append(env.now - submitted)
+        yield env.timeout(job.runtime)
+        lease.release()
+        self.stats.completed += 1

@@ -1,0 +1,126 @@
+"""Tests for the RSL-disjunction alternatives agent."""
+
+import pytest
+
+from repro.broker import AlternativesAgent, parse_alternatives
+from repro.core import SubjobType
+from repro.errors import RSLValidationError
+from repro.gridenv import GridBuilder
+
+
+@pytest.fixture
+def grid():
+    return (
+        GridBuilder(seed=13)
+        .add_machine("RM1", nodes=64)
+        .add_machine("RM2", nodes=64)
+        .add_machine("RM3", nodes=64)
+        .build()
+    )
+
+
+def rsl_with_alternatives(grid):
+    c1, c2, c3 = grid.contacts()
+    return (
+        f"+(&(resourceManagerContact={c1})(count=1)(executable=duroc_app))"
+        f"(|(&(resourceManagerContact={c2})(count=4)(executable=duroc_app))"
+        f"  (&(resourceManagerContact={c3})(count=4)(executable=duroc_app)))"
+    )
+
+
+def drive(grid, gen):
+    return grid.run(grid.process(gen))
+
+
+class TestParseAlternatives:
+    def test_expands_disjunction(self, grid):
+        choices = parse_alternatives(rsl_with_alternatives(grid))
+        assert len(choices) == 2
+        assert len(choices[0]) == 1
+        assert len(choices[1]) == 2
+        assert choices[1][0].contact == grid.contacts()[1]
+        assert choices[1][1].contact == grid.contacts()[2]
+
+    def test_rejects_empty_disjunction(self):
+        with pytest.raises(RSLValidationError):
+            parse_alternatives("+(|(count=1))")
+
+    def test_rejects_bare_relation_branch(self):
+        with pytest.raises(RSLValidationError):
+            parse_alternatives("+(count=1)")
+
+
+class TestAlternativesAgent:
+    def test_first_choice_when_healthy(self, grid):
+        agent = AlternativesAgent(grid.duroc())
+
+        def scenario(env):
+            outcome = yield from agent.allocate(rsl_with_alternatives(grid))
+            return outcome
+
+        outcome = drive(grid, scenario(grid.env))
+        assert outcome.success
+        assert outcome.substitutions == 0
+        contacts = [s.spec.contact for s in outcome.result.job.released_slots()]
+        assert grid.contacts()[1] in contacts  # the preferred alternative
+
+    def test_falls_back_to_second_choice(self, grid):
+        grid.site("RM2").crash()  # preferred alternative is dead
+        agent = AlternativesAgent(grid.duroc(submit_timeout=3.0))
+
+        def scenario(env):
+            outcome = yield from agent.allocate(rsl_with_alternatives(grid))
+            return outcome
+
+        outcome = drive(grid, scenario(grid.env))
+        assert outcome.success
+        assert outcome.substitutions == 1
+        contacts = [s.spec.contact for s in outcome.result.job.released_slots()]
+        assert grid.contacts()[2] in contacts
+        assert outcome.result.total_processes == 5
+
+    def test_drops_branch_when_exhausted(self, grid):
+        grid.site("RM2").crash()
+        grid.site("RM3").crash()
+        agent = AlternativesAgent(grid.duroc(submit_timeout=3.0))
+
+        def scenario(env):
+            outcome = yield from agent.allocate(rsl_with_alternatives(grid))
+            return outcome
+
+        outcome = drive(grid, scenario(grid.env))
+        assert outcome.success  # the required master still ran
+        assert outcome.substitutions == 1
+        assert outcome.dropped == 1
+        assert outcome.result.sizes == (1,)
+
+    def test_accepts_prebuilt_choice_lists(self, grid):
+        from repro.core import SubjobSpec
+
+        c1, c2 = grid.contacts()[:2]
+        agent = AlternativesAgent(grid.duroc())
+        choices = [
+            [SubjobSpec(contact=c1, count=2, executable="duroc_app")],
+            [
+                SubjobSpec(contact=c2, count=2, executable="duroc_app",
+                           start_type=SubjobType.INTERACTIVE),
+            ],
+        ]
+
+        def scenario(env):
+            outcome = yield from agent.allocate(choices)
+            return outcome
+
+        outcome = drive(grid, scenario(grid.env))
+        assert outcome.success
+        assert outcome.result.sizes == (2, 2)
+
+    def test_rejects_empty_choice_lists(self, grid):
+        agent = AlternativesAgent(grid.duroc())
+
+        def scenario(env):
+            with pytest.raises(RSLValidationError):
+                yield from agent.allocate([[]])
+            return True
+
+        assert drive(grid, scenario(grid.env))

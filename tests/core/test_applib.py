@@ -1,0 +1,120 @@
+"""Unit tests for the application-side DUROC library."""
+
+import pytest
+
+from repro.core import make_program
+from repro.core.applib import PARAM_CONTACT, barrier
+from repro.errors import CoAllocationError
+from repro.gridenv import GridBuilder
+from repro.core.request import CoAllocationRequest, SubjobSpec
+
+
+@pytest.fixture
+def grid():
+    return GridBuilder(seed=19).add_machine("RM1", nodes=8).build()
+
+
+class TestBarrierFunction:
+    def test_requires_duroc_context(self, grid):
+        """A process started outside DUROC cannot call the barrier."""
+        captured = {}
+
+        def program(ctx):
+            port = ctx.port("duroc")
+            try:
+                yield from barrier(ctx, port)
+            except CoAllocationError as exc:
+                captured["error"] = str(exc)
+
+        grid.machine("RM1").spawn(program, executable="x", rank=0, count=1)
+        grid.run()
+        assert "duroc.contact" in captured["error"]
+
+    def test_param_names_are_stable(self):
+        # The GRAM/DUROC boundary depends on these exact keys.
+        assert PARAM_CONTACT == "duroc.contact"
+
+
+class TestMakeProgram:
+    def test_startup_scales_with_machine_load(self, grid):
+        grid.programs["slowstart"] = make_program(startup=1.0)
+        grid.machine("RM1").overload(3.0)
+        duroc = grid.duroc(heartbeat_interval=0.0)
+        request = CoAllocationRequest(
+            [SubjobSpec(contact=grid.site("RM1").contact, count=1,
+                        executable="slowstart")]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            result = yield from job.commit()
+            return result
+
+        result = grid.run(grid.process(agent(grid.env)))
+        # Submission ~1.22 s + 3 s (scaled startup), not 1 s.
+        assert result.released_at > 4.0
+
+    def test_body_receives_ctx_port_config(self, grid):
+        seen = {}
+
+        def body(ctx, port, config):
+            seen["machine"] = ctx.machine.name
+            seen["endpoint"] = port.endpoint
+            seen["sizes"] = config.sizes
+            return "done"
+            yield  # pragma: no cover
+
+        grid.programs["bodied"] = make_program(startup=0.1, body=body)
+        duroc = grid.duroc(heartbeat_interval=0.0)
+        request = CoAllocationRequest(
+            [SubjobSpec(contact=grid.site("RM1").contact, count=1,
+                        executable="bodied")]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            yield from job.commit()
+
+        grid.run(grid.process(agent(grid.env)))
+        grid.run()
+        assert seen["machine"] == "RM1"
+        assert seen["sizes"] == (1,)
+        assert seen["endpoint"].host == "RM1"
+
+    def test_startup_ok_veto(self, grid):
+        from repro.errors import AllocationAborted
+
+        grid.programs["veto"] = make_program(
+            startup=0.1, startup_ok=lambda ctx: (False, "no disk space")
+        )
+        duroc = grid.duroc(heartbeat_interval=0.0)
+        request = CoAllocationRequest(
+            [SubjobSpec(contact=grid.site("RM1").contact, count=1,
+                        executable="veto")]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            with pytest.raises(AllocationAborted, match="no disk space"):
+                yield from job.commit()
+            return True
+
+        assert grid.run(grid.process(agent(grid.env)))
+
+    def test_runtime_sleep(self, grid):
+        grid.programs["sleepy"] = make_program(startup=0.0, runtime=5.0)
+        duroc = grid.duroc(heartbeat_interval=0.0)
+        request = CoAllocationRequest(
+            [SubjobSpec(contact=grid.site("RM1").contact, count=1,
+                        executable="sleepy")]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            result = yield from job.commit()
+            released = env.now
+            yield from job.wait_done()
+            return env.now - released
+
+        ran_for = grid.run(grid.process(agent(grid.env)))
+        assert ran_for == pytest.approx(5.0, abs=0.1)

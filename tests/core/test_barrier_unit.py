@@ -1,0 +1,170 @@
+"""Unit tests for the barrier manager and callback dispatcher."""
+
+import pytest
+
+from repro.core.barrier import ABORT, BarrierManager, BarrierTable, Checkin, RELEASE
+from repro.core.callbacks import CallbackDispatcher, DurocEvent, Notification
+from repro.net import Endpoint, Network, Port
+from repro.simcore import Environment
+
+
+def checkin(slot_id, rank, ok=True, host="m", time=0.0):
+    return Checkin(
+        slot_id=slot_id,
+        rank=rank,
+        ok=ok,
+        reason=None if ok else "bad",
+        endpoint=Endpoint(host, f"p{rank}"),
+        time=time,
+    )
+
+
+class TestBarrierTable:
+    def test_counts(self):
+        table = BarrierTable(slot_id=1, count=3)
+        assert not table.complete
+        table.record(checkin(1, 0))
+        table.record(checkin(1, 1))
+        assert table.arrived == 2
+        table.record(checkin(1, 2))
+        assert table.complete and table.all_ok
+
+    def test_duplicate_rank_ignored(self):
+        table = BarrierTable(1, 2)
+        assert table.record(checkin(1, 0)) is True
+        assert table.record(checkin(1, 0)) is False
+        assert table.arrived == 1
+
+    def test_failures_tracked(self):
+        table = BarrierTable(1, 2)
+        table.record(checkin(1, 0))
+        table.record(checkin(1, 1, ok=False))
+        assert table.complete and not table.all_ok
+        assert len(table.failures()) == 1
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    net = Network(env)
+    net.add_host("client")
+    net.add_host("m")
+    port = Port(net, Endpoint("client", "duroc"))
+    manager = BarrierManager(env, port)
+    return env, net, port, manager
+
+
+class TestBarrierManager:
+    def test_release_sends_configs(self, setup):
+        env, net, port, manager = setup
+        manager.open_table(1, 2)
+        manager.open_table(2, 1)
+        boxes = {
+            (sid, rank): Port(net, Endpoint("m", f"p{rank}-{sid}"))
+            for sid, n in ((1, 2), (2, 1))
+            for rank in range(n)
+        }
+        for (sid, rank), p in boxes.items():
+            manager.record(
+                Checkin(sid, rank, True, None, p.endpoint, env.now)
+            )
+        configs = manager.build_config([1, 2])
+        assert manager.release_slot(1, configs[1]) == 2
+        assert manager.release_slot(2, configs[2]) == 1
+        env.run()
+        msg = boxes[(1, 1)].mailbox.items[0]
+        assert msg.kind == RELEASE
+        assert msg.payload["sizes"] == (2, 1)
+        assert msg.payload["my_subjob"] == 0
+        assert msg.payload["my_rank"] == 1
+        msg2 = boxes[(2, 0)].mailbox.items[0]
+        assert msg2.payload["my_subjob"] == 1
+
+    def test_record_unknown_slot_returns_none(self, setup):
+        _, _, _, manager = setup
+        assert manager.record(checkin(99, 0)) is None
+
+    def test_abort_skips_released(self, setup):
+        env, net, port, manager = setup
+        manager.open_table(1, 2)
+        p0 = Port(net, Endpoint("m", "x0"))
+        p1 = Port(net, Endpoint("m", "x1"))
+        manager.record(Checkin(1, 0, True, None, p0.endpoint, 0.0))
+        manager.record(Checkin(1, 1, True, None, p1.endpoint, 0.0))
+        configs = manager.build_config([1])
+        # Release only rank 0 by faking release_times after fan-out:
+        manager.release_slot(1, configs[1])
+        aborted = manager.abort_slot(1, "late abort")
+        # Both were released, so nothing gets an abort message.
+        assert aborted == 0
+
+    def test_abort_unreleased(self, setup):
+        env, net, port, manager = setup
+        manager.open_table(1, 1)
+        p0 = Port(net, Endpoint("m", "y0"))
+        manager.record(Checkin(1, 0, True, None, p0.endpoint, 0.0))
+        assert manager.abort_slot(1, "nope") == 1
+        env.run()
+        assert p0.mailbox.items[0].kind == ABORT
+
+    def test_barrier_waits(self, setup):
+        env, net, port, manager = setup
+        manager.open_table(1, 2)
+        p0 = Port(net, Endpoint("m", "z0"))
+        p1 = Port(net, Endpoint("m", "z1"))
+        manager.record(Checkin(1, 0, True, None, p0.endpoint, 1.0))
+        manager.record(Checkin(1, 1, True, None, p1.endpoint, 3.0))
+        env.timeout(5.0)
+        env.run()
+        configs = manager.build_config([1])
+        manager.release_slot(1, configs[1])
+        waits = manager.barrier_waits()
+        assert waits == [(1, 0, 4.0), (1, 1, 2.0)]
+
+    def test_failed_checkin_not_released(self, setup):
+        env, net, port, manager = setup
+        manager.open_table(1, 2)
+        p0 = Port(net, Endpoint("m", "w0"))
+        p1 = Port(net, Endpoint("m", "w1"))
+        manager.record(Checkin(1, 0, True, None, p0.endpoint, 0.0))
+        manager.record(Checkin(1, 1, False, "bad", p1.endpoint, 0.0))
+        configs = manager.build_config([1])
+        assert manager.release_slot(1, configs[1]) == 1  # only the ok one
+
+
+class TestCallbackDispatcher:
+    def test_event_specific_and_catch_all(self):
+        dispatcher = CallbackDispatcher()
+        specific, everything = [], []
+        dispatcher.on(DurocEvent.SUBJOB_CHECKIN, specific.append)
+        dispatcher.on(None, everything.append)
+        n1 = Notification(DurocEvent.SUBJOB_CHECKIN, 1.0, subjob=0)
+        n2 = Notification(DurocEvent.REQUEST_RELEASED, 2.0)
+        dispatcher.emit(n1)
+        dispatcher.emit(n2)
+        assert specific == [n1]
+        assert everything == [n1, n2]
+        assert dispatcher.log == [n1, n2]
+
+    def test_events_query(self):
+        dispatcher = CallbackDispatcher()
+        n = Notification(DurocEvent.SUBJOB_TIMEOUT, 5.0, subjob=3)
+        dispatcher.emit(n)
+        assert dispatcher.events(DurocEvent.SUBJOB_TIMEOUT) == [n]
+        assert dispatcher.events(DurocEvent.SUBJOB_FAILED) == []
+
+    def test_handler_registering_handler_is_safe(self):
+        dispatcher = CallbackDispatcher()
+        seen = []
+
+        def outer(notification):
+            dispatcher.on(None, seen.append)
+
+        dispatcher.on(None, outer)
+        dispatcher.emit(Notification(DurocEvent.REQUEST_COMMITTED, 0.0))
+        # The inner handler was registered but not invoked for the same
+        # notification (snapshot semantics); the next one reaches it.
+        assert seen == []
+        n2 = Notification(DurocEvent.REQUEST_RELEASED, 1.0)
+        dispatcher.emit(n2)
+        assert n2 in seen

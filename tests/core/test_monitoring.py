@@ -1,0 +1,160 @@
+"""Tests for §3.4 monitoring: heartbeat liveness detection and events."""
+
+import pytest
+
+from repro.core import (
+    CoAllocationRequest,
+    DurocEvent,
+    RequestState,
+    SubjobState,
+    SubjobSpec,
+    SubjobType,
+)
+from repro.errors import AllocationAborted
+from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+from repro.machine import crash_at
+
+
+@pytest.fixture
+def grid():
+    return (
+        GridBuilder(seed=61)
+        .add_machine("RM1", nodes=16)
+        .add_machine("RM2", nodes=16)
+        .build()
+    )
+
+
+def request_for(grid, *specs):
+    return CoAllocationRequest(list(specs))
+
+
+def spec(grid, name, count=2, start_type=SubjobType.REQUIRED,
+         executable=DEFAULT_EXECUTABLE, timeout=None):
+    return SubjobSpec(contact=grid.site(name).contact, count=count,
+                      executable=executable, start_type=start_type,
+                      timeout=timeout)
+
+
+class TestHeartbeat:
+    def test_detects_crash_before_checkin(self, grid):
+        """A machine that dies *after* accepting the submission but
+        before its processes check in is noticed by polling, not by the
+        (much longer) subjob timeout."""
+        grid.machine("RM2").overload(20.0)  # slow startup: ~14 s
+        duroc = grid.duroc(
+            heartbeat_interval=0.5, default_subjob_timeout=300.0
+        )
+
+        def agent(env):
+            job = duroc.submit(
+                request_for(
+                    grid,
+                    spec(grid, "RM1"),
+                    spec(grid, "RM2", start_type=SubjobType.INTERACTIVE),
+                )
+            )
+            # Crash RM2 once its subjob is submitted but not checked in.
+            yield from job.wait(
+                lambda j: j.slots[1].state is SubjobState.SUBMITTED
+            )
+            crash_at(grid.machine("RM2"), at=env.now + 0.5)
+            result = yield from job.commit()
+            return (job, result, env.now)
+
+        job, result, released = grid.run(grid.process(agent(grid.env)))
+        assert result.sizes == (2,)
+        # Detection took heartbeat time (seconds), not the 300 s timeout.
+        assert released < 30.0
+        assert job.slots[1].failure_reason == "lost contact with job manager"
+
+    def test_disabled_heartbeat_falls_back_to_timeout(self, grid):
+        grid.machine("RM2").overload(50.0)
+        duroc = grid.duroc(heartbeat_interval=0.0)
+
+        def agent(env):
+            job = duroc.submit(
+                request_for(
+                    grid,
+                    spec(grid, "RM2", timeout=5.0),
+                )
+            )
+            yield from job.wait(
+                lambda j: j.slots[0].state is SubjobState.SUBMITTED
+            )
+            crash_at(grid.machine("RM2"), at=env.now)
+            with pytest.raises(AllocationAborted, match="no check-in"):
+                yield from job.commit()
+            return env.now
+
+        elapsed = grid.run(grid.process(agent(grid.env)))
+        # Only the watchdog (5 s after submission start) could fire.
+        assert 5.0 <= elapsed < 10.0
+
+    def test_heartbeat_quiesces_after_completion(self, grid):
+        duroc = grid.duroc(heartbeat_interval=0.5)
+
+        def agent(env):
+            job = duroc.submit(request_for(grid, spec(grid, "RM1")))
+            result = yield from job.commit()
+            return result
+
+        grid.run(grid.process(agent(grid.env)))
+        before = grid.now
+        grid.run()  # must terminate: the heartbeat stops by itself
+        assert grid.now < before + 10.0
+
+
+class TestNotificationStream:
+    def test_full_lifecycle_event_order(self, grid):
+        duroc = grid.duroc()
+
+        def agent(env):
+            job = duroc.submit(request_for(grid, spec(grid, "RM1")))
+            yield from job.commit()
+            yield from job.wait_done()
+            return job
+
+        job = grid.run(grid.process(agent(grid.env)))
+        order = [n.event for n in job.callbacks.log]
+        expected_subsequence = [
+            DurocEvent.REQUEST_COMMITTED,
+            DurocEvent.SUBJOB_SUBMITTED,
+            DurocEvent.SUBJOB_CHECKIN,
+            DurocEvent.SUBJOB_RELEASED,
+            DurocEvent.REQUEST_RELEASED,
+            DurocEvent.REQUEST_DONE,
+        ]
+        positions = [order.index(e) for e in expected_subsequence]
+        assert positions == sorted(positions)
+        assert job.state is RequestState.DONE
+
+    def test_notification_times_are_monotone(self, grid):
+        duroc = grid.duroc()
+
+        def agent(env):
+            job = duroc.submit(
+                request_for(grid, spec(grid, "RM1"), spec(grid, "RM2"))
+            )
+            yield from job.commit()
+            return job
+
+        job = grid.run(grid.process(agent(grid.env)))
+        times = [n.time for n in job.callbacks.log]
+        assert times == sorted(times)
+
+    def test_subjob_attribution(self, grid):
+        duroc = grid.duroc()
+
+        def agent(env):
+            job = duroc.submit(
+                request_for(grid, spec(grid, "RM1"), spec(grid, "RM2"))
+            )
+            yield from job.commit()
+            return job
+
+        job = grid.run(grid.process(agent(grid.env)))
+        checkins = job.callbacks.events(DurocEvent.SUBJOB_CHECKIN)
+        assert sorted(n.subjob for n in checkins) == [0, 1]
+        released = job.callbacks.events(DurocEvent.REQUEST_RELEASED)
+        assert released[0].subjob is None

@@ -1,0 +1,174 @@
+"""Property-based tests of the co-allocation protocol itself.
+
+For arbitrary fault patterns (each machine healthy, crashed, or
+overloaded) and arbitrary subjob type assignments, the two-phase-commit
+protocol must maintain:
+
+1. **Barrier safety** — no process is released before commit, and every
+   released subjob had fully checked in.
+2. **Required semantics** — a faulty required subjob means the whole
+   request aborts and *nothing stays allocated*.
+3. **Atomic all-or-nothing** — with GRAB, success iff every machine is
+   healthy; failure leaves zero processes and all nodes free.
+4. **Quiescence** — after the protocol finishes (either way), no
+   processes linger and every scheduler's nodes are back.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CoAllocationRequest,
+    Grab,
+    RequestState,
+    SubjobSpec,
+    SubjobState,
+    SubjobType,
+)
+from repro.errors import AllocationAborted
+from repro.gram.costs import CostModel
+from repro.gsi.auth import AuthConfig
+from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+
+#: Cheap-but-nonzero costs so faults are observable and runs are fast.
+FAST_COSTS = CostModel(
+    auth=AuthConfig(client_cpu=0.01, server_cpu=0.01),
+    initgroups=0.01,
+    misc=0.0,
+    fork_per_process=0.0,
+    app_startup=0.2,
+)
+
+FAULTS = ("ok", "crashed", "slow")
+TYPES = (SubjobType.REQUIRED, SubjobType.INTERACTIVE, SubjobType.OPTIONAL)
+
+
+def build(faults, types):
+    """One machine per subjob, with the given fault/type pattern."""
+    builder = GridBuilder(seed=1, costs=FAST_COSTS)
+    for idx in range(len(faults)):
+        builder.add_machine(f"RM{idx + 1}", nodes=8)
+    grid = builder.build()
+    for idx, fault in enumerate(faults):
+        machine = grid.machine(f"RM{idx + 1}")
+        if fault == "crashed":
+            machine.crash()
+        elif fault == "slow":
+            machine.overload(100.0)  # 20 s startup >> 2 s deadline
+    request = CoAllocationRequest(
+        [
+            SubjobSpec(
+                contact=grid.site(f"RM{idx + 1}").contact,
+                count=2,
+                executable=DEFAULT_EXECUTABLE,
+                start_type=types[idx],
+                timeout=2.0,
+            )
+            for idx in range(len(faults))
+        ]
+    )
+    return grid, request
+
+
+def quiesced(grid) -> bool:
+    return all(
+        site.machine.process_count == 0
+        and site.scheduler.free == site.scheduler.nodes
+        for site in grid.sites.values()
+        if not site.machine.crashed
+    )
+
+
+patterns = st.lists(
+    st.tuples(st.sampled_from(FAULTS), st.sampled_from(TYPES)),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(patterns)
+@settings(max_examples=40, deadline=None)
+def test_duroc_protocol_invariants(pattern):
+    faults = [f for f, _ in pattern]
+    types = [t for _, t in pattern]
+    grid, request = build(faults, types)
+    duroc = grid.duroc(submit_timeout=1.0, heartbeat_interval=0.5)
+    commit_time = {}
+
+    def agent(env):
+        job = duroc.submit(request)
+        commit_time["at"] = env.now
+        try:
+            result = yield from job.commit()
+            return (job, result)
+        except AllocationAborted:
+            return (job, None)
+
+    job, result = grid.run(grid.process(agent(grid.env)))
+    grid.run()  # drain: killed/leftover work finishes
+
+    required_faulty = any(
+        f != "ok" and t is SubjobType.REQUIRED for f, t in pattern
+    )
+    any_healthy = any(f == "ok" for f, _ in pattern)
+
+    if required_faulty or not any_healthy:
+        # 2. Required semantics (or nothing could ever start): the whole
+        # request aborted and nothing stays live.
+        assert result is None
+        assert job.state in (RequestState.ABORTED, RequestState.TERMINATED)
+        assert all(not slot.state.live for slot in job.slots)
+    else:
+        # Healthy-or-droppable: the request must release.
+        assert result is not None
+        assert job.state in (RequestState.RELEASED, RequestState.DONE)
+        for slot in job.slots:
+            if slot.state is SubjobState.RELEASED:
+                # 1. Barrier safety: full check-in, and not before commit.
+                assert slot.checked_in_at is not None
+                table = job.barrier.tables[slot.slot_id]
+                assert table.all_ok
+                assert slot.released_at >= commit_time["at"]
+            # Required slots never silently drop.
+            if slot.spec.start_type is SubjobType.REQUIRED:
+                assert slot.state is SubjobState.RELEASED
+        # Faulty non-required subjobs did not make it.
+        for idx, (fault, stype) in enumerate(pattern):
+            if fault != "ok" and stype is not SubjobType.REQUIRED:
+                assert job.slots[idx].state is not SubjobState.RELEASED
+
+    # 4. Quiescence (processes have runtime 0, so everything drains).
+    assert quiesced(grid)
+
+
+@given(st.lists(st.sampled_from(FAULTS), min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_grab_all_or_nothing(faults):
+    types = [SubjobType.REQUIRED] * len(faults)
+    grid, request = build(faults, types)
+    grab = Grab(
+        grid.network,
+        grid.client_host,
+        grid.credential,
+        auth=FAST_COSTS.auth,
+        submit_timeout=1.0,
+    )
+
+    def agent(env):
+        try:
+            result = yield from grab.allocate(request)
+            return result
+        except AllocationAborted:
+            return None
+
+    result = grid.run(grid.process(agent(grid.env)))
+    grid.run()
+
+    if all(f == "ok" for f in faults):
+        # 3a. All healthy: the transaction succeeds completely.
+        assert result is not None
+        assert result.total_processes == 2 * len(faults)
+    else:
+        # 3b. Any fault: it fails, and none of the resources stay held.
+        assert result is None
+    assert quiesced(grid)

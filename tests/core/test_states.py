@@ -1,0 +1,110 @@
+"""Exhaustive tests of the DUROC and GRAM state machines."""
+
+import itertools
+
+import pytest
+
+from repro.core.states import (
+    REQUEST_TRANSITIONS,
+    RequestState,
+    SUBJOB_TRANSITIONS,
+    SubjobState,
+    check_request_transition,
+    check_subjob_transition,
+)
+from repro.errors import GramError, RequestStateError
+from repro.gram.states import JobState, TRANSITIONS as JOB_TRANSITIONS, check_transition
+
+
+class TestSubjobStateMachine:
+    def test_every_pair_classified(self):
+        for a, b in itertools.product(SubjobState, repeat=2):
+            if b in SUBJOB_TRANSITIONS[a]:
+                check_subjob_transition(a, b)
+            else:
+                with pytest.raises(RequestStateError):
+                    check_subjob_transition(a, b)
+
+    def test_terminal_states_have_no_exits(self):
+        for state in SubjobState:
+            if state in (SubjobState.DELETED, SubjobState.TERMINATED):
+                assert not SUBJOB_TRANSITIONS[state]
+
+    def test_failed_can_only_be_deleted(self):
+        assert SUBJOB_TRANSITIONS[SubjobState.FAILED] == frozenset(
+            {SubjobState.DELETED}
+        )
+
+    def test_happy_path_is_legal(self):
+        path = [
+            SubjobState.PENDING,
+            SubjobState.SUBMITTING,
+            SubjobState.SUBMITTED,
+            SubjobState.CHECKED_IN,
+            SubjobState.RELEASED,
+        ]
+        for a, b in zip(path, path[1:]):
+            check_subjob_transition(a, b)
+
+    def test_live_vs_terminal_partition(self):
+        for state in SubjobState:
+            assert state.live != state.terminal or not state.terminal
+
+    def test_every_live_state_can_reach_termination(self):
+        """Kill must be possible from every live state."""
+        for state in SubjobState:
+            if state.live:
+                assert (
+                    SubjobState.TERMINATED in SUBJOB_TRANSITIONS[state]
+                    or SubjobState.FAILED in SUBJOB_TRANSITIONS[state]
+                )
+
+
+class TestRequestStateMachine:
+    def test_every_pair_classified(self):
+        for a, b in itertools.product(RequestState, repeat=2):
+            if b in REQUEST_TRANSITIONS[a]:
+                check_request_transition(a, b)
+            else:
+                with pytest.raises(RequestStateError):
+                    check_request_transition(a, b)
+
+    def test_editable_states(self):
+        assert RequestState.ALLOCATING.editable
+        assert RequestState.COMMITTING.editable
+        for state in (RequestState.RELEASED, RequestState.DONE,
+                      RequestState.ABORTED, RequestState.TERMINATED):
+            assert not state.editable
+
+    def test_no_resurrection(self):
+        for state in RequestState:
+            if state.terminal:
+                assert not REQUEST_TRANSITIONS[state]
+
+    def test_kill_reachable_from_all_non_terminal(self):
+        for state in RequestState:
+            if not state.terminal:
+                assert RequestState.TERMINATED in REQUEST_TRANSITIONS[state]
+
+
+class TestGramJobStateMachine:
+    def test_every_pair_classified(self):
+        for a, b in itertools.product(JobState, repeat=2):
+            if b in JOB_TRANSITIONS[a]:
+                check_transition(a, b)
+            else:
+                with pytest.raises(GramError):
+                    check_transition(a, b)
+
+    def test_done_only_from_active(self):
+        sources = [a for a in JobState if JobState.DONE in JOB_TRANSITIONS[a]]
+        assert sources == [JobState.ACTIVE]
+
+    def test_failed_from_every_non_terminal(self):
+        for state in JobState:
+            if not state.terminal:
+                assert JobState.FAILED in JOB_TRANSITIONS[state]
+
+    def test_suspend_resume_cycle(self):
+        check_transition(JobState.ACTIVE, JobState.SUSPENDED)
+        check_transition(JobState.SUSPENDED, JobState.ACTIVE)

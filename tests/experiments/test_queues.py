@@ -1,0 +1,41 @@
+"""Shape tests for the queue-decomposition experiment (fast config)."""
+
+import pytest
+
+from repro.experiments import queues
+
+
+class TestQueueDecomposition:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return queues.run_queue_experiment(seeds=(0,))
+
+    def test_scenarios_present(self, rows):
+        assert {r.scenario for r in rows} == {"fork", "queued"}
+
+    def test_sync_negligible(self, rows):
+        for r in rows:
+            assert r.sync < 0.05
+
+    def test_fork_has_no_queue_wait(self, rows):
+        fork = next(r for r in rows if r.scenario == "fork")
+        assert fork.queue == 0.0
+
+    def test_queued_dominated_by_queue(self, rows):
+        queued = next(r for r in rows if r.scenario == "queued")
+        fork = next(r for r in rows if r.scenario == "fork")
+        assert queued.queue > 10 * fork.total
+        assert queued.queue_share > 0.3
+
+    def test_startup_identical_across_scenarios(self, rows):
+        fork = next(r for r in rows if r.scenario == "fork")
+        queued = next(r for r in rows if r.scenario == "queued")
+        assert fork.startup == pytest.approx(queued.startup, rel=0.05)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            queues.run_decomposition("cloud")
+
+    def test_render(self, rows):
+        text = queues.render(rows)
+        assert "fork" in text and "queued" in text

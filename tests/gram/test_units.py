@@ -1,0 +1,134 @@
+"""Unit tests for GRAM support pieces: cost model, job records, site."""
+
+import pytest
+
+from repro.gram import CostModel, FREE_COSTS, JobState, PAPER_COSTS, Site
+from repro.gram.client import contact_endpoint
+from repro.gram.job import Job, JobContact
+from repro.gsi import CertificateAuthority
+from repro.net import Endpoint, Network
+from repro.simcore import Environment
+
+
+class TestCostModel:
+    def test_paper_defaults(self):
+        assert PAPER_COSTS.initgroups == 0.7
+        assert PAPER_COSTS.auth.total_cpu == 0.5
+        assert PAPER_COSTS.misc == 0.01
+        assert PAPER_COSTS.fork_per_process == 0.001
+
+    def test_fork_scales(self):
+        assert PAPER_COSTS.fork(64) == pytest.approx(0.064)
+
+    def test_gatekeeper_serial(self):
+        assert PAPER_COSTS.gatekeeper_serial == pytest.approx(0.71)
+
+    def test_free_costs_are_zero(self):
+        assert FREE_COSTS.fork(100) == 0.0
+        assert FREE_COSTS.gatekeeper_serial == 0.0
+        assert FREE_COSTS.auth.total_cpu == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(initgroups=-1)
+        with pytest.raises(ValueError):
+            CostModel(app_startup_cv=-0.1)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_COSTS.misc = 1.0
+
+
+class TestJobRecord:
+    def test_transition_timestamps(self):
+        job = Job(job_id="s/j1", site="s", count=2, executable="x")
+        job.transition(JobState.PENDING, 1.0)
+        assert job.submitted_at == 1.0
+        job.transition(JobState.ACTIVE, 2.0)
+        assert job.active_at == 2.0
+        job.transition(JobState.DONE, 5.0)
+        assert job.finished_at == 5.0
+
+    def test_failure_reason_recorded(self):
+        job = Job(job_id="s/j1", site="s", count=2, executable="x")
+        job.transition(JobState.PENDING, 0.0)
+        job.transition(JobState.FAILED, 1.0, reason="crash")
+        assert job.failure_reason == "crash"
+
+    def test_contact_string(self):
+        contact = JobContact(job_id="s/j1", manager=Endpoint("s", "jm.j1"))
+        assert str(contact) == "s:jm.j1/s/j1"
+
+
+class TestContactEndpoint:
+    def test_host_port_form(self):
+        assert contact_endpoint("origin:gatekeeper") == Endpoint(
+            "origin", "gatekeeper"
+        )
+
+    def test_bare_host_gets_conventional_port(self):
+        assert contact_endpoint("origin") == Endpoint("origin", "gatekeeper")
+
+
+class TestSite:
+    def test_wiring(self):
+        env = Environment()
+        net = Network(env)
+        ca = CertificateAuthority()
+        site = Site(env, net, "origin", nodes=16, ca=ca, programs={})
+        assert site.contact == "origin:gatekeeper"
+        assert site.nodes == 16
+        assert net.has_host("origin")
+        assert site.scheduler.policy == "fork"
+
+    def test_authorize_default_local_user(self):
+        env = Environment()
+        net = Network(env)
+        site = Site(env, net, "s", nodes=4,
+                    ca=CertificateAuthority(), programs={})
+        site.authorize("alice")
+        assert site.gridmap.lookup("alice") == "u-alice"
+
+    def test_crash_and_restore(self):
+        env = Environment()
+        net = Network(env)
+        site = Site(env, net, "s", nodes=4,
+                    ca=CertificateAuthority(), programs={})
+        site.crash()
+        assert not net.host_up("s")
+        site.restore()
+        assert net.host_up("s")
+
+    def test_scheduler_factory(self):
+        from repro.schedulers import FcfsScheduler
+
+        env = Environment()
+        net = Network(env)
+        site = Site(env, net, "s", nodes=4, ca=CertificateAuthority(),
+                    programs={}, scheduler_factory=FcfsScheduler)
+        assert site.scheduler.policy == "fcfs"
+
+
+class TestGatekeeperPing:
+    def test_ping_replies_with_contact(self):
+        from repro.gram.gatekeeper import PING
+        from repro.net import Port, reply_ok  # noqa: F401
+        from repro.net.rpc import call
+
+        env = Environment()
+        net = Network(env)
+        net.add_host("client")
+        site = Site(env, net, "origin", nodes=4,
+                    ca=CertificateAuthority(), programs={})
+        from repro.net.transport import Port as _Port
+
+        port = _Port(net, Endpoint("client", "cli"))
+
+        def scenario(env):
+            payload = yield from call(
+                port, site.gatekeeper.endpoint, PING, timeout=5.0
+            )
+            return payload
+
+        payload = env.run(env.process(scenario(env)))
+        assert payload == {"contact": "origin:gatekeeper"}

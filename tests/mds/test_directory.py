@@ -1,0 +1,67 @@
+"""Unit tests for the information service."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gridenv import GridBuilder
+from repro.mds import Directory
+
+
+@pytest.fixture
+def grid():
+    return (
+        GridBuilder(seed=5)
+        .add_machine("big", nodes=128, scheduler="fcfs")
+        .add_machine("small", nodes=16, scheduler="fcfs")
+        .build()
+    )
+
+
+@pytest.fixture
+def directory(grid):
+    d = Directory(grid.env, refresh_interval=10.0)
+    for site in grid.sites.values():
+        d.register(site)
+    return d
+
+
+class TestDirectory:
+    def test_lookup_static_fields(self, grid, directory):
+        info = directory.lookup("big")
+        assert info.nodes == 128
+        assert info.policy == "fcfs"
+        assert info.contact == grid.site("big").contact
+
+    def test_unknown_site(self, directory):
+        with pytest.raises(ReproError):
+            directory.lookup("nowhere")
+
+    def test_snapshot_staleness(self, grid, directory):
+        from repro.schedulers import NodeRequest
+
+        info0 = directory.lookup("big")
+        assert info0.free == 128
+        # Take nodes; a query inside the refresh window sees stale data.
+        grid.site("big").scheduler.submit(NodeRequest(count=64))
+        assert directory.lookup("big").free == 128
+        grid.env.timeout(11.0)
+        grid.run()
+        assert directory.lookup("big").free == 64
+
+    def test_predicted_wait_empty(self, directory):
+        assert directory.predicted_wait("big", 64) == 0.0
+
+    def test_candidates_filter_by_size(self, directory):
+        names = [name for name, _ in directory.candidates(count=64)]
+        assert names == ["big"]
+
+    def test_candidates_rank_by_wait(self, grid, directory):
+        from repro.schedulers import NodeRequest
+
+        # Fill 'big' so its predicted wait is nonzero.
+        grid.site("big").scheduler.submit(NodeRequest(count=128, max_time=100))
+        ranked = directory.candidates(count=16)
+        assert [name for name, _ in ranked] == ["small", "big"]
+
+    def test_select_k(self, directory):
+        assert directory.select(count=8, k=2) == ["big", "small"]

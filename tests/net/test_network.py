@@ -1,0 +1,222 @@
+"""Unit tests for repro.net.network and transport."""
+
+import pytest
+
+from repro.errors import HostDown, NetworkError
+from repro.net import Endpoint, LatencyModel, Message, Network, Port
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    network = Network(env)
+    network.add_host("alpha")
+    network.add_host("beta")
+    return network
+
+
+def _port(net, host, name):
+    return Port(net, Endpoint(host, name))
+
+
+class TestEndpoint:
+    def test_str_and_parse_roundtrip(self):
+        ep = Endpoint("host1", "gram")
+        assert Endpoint.parse(str(ep)) == ep
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "host", ":port", "host:"):
+            with pytest.raises(ValueError):
+                Endpoint.parse(bad)
+
+    def test_ordering(self):
+        assert Endpoint("a", "1") < Endpoint("b", "0")
+
+
+class TestLatencyModel:
+    def test_default_latency(self):
+        model = LatencyModel()
+        assert model.latency("a", "b") == pytest.approx(0.002)
+
+    def test_loopback_latency(self):
+        model = LatencyModel()
+        assert model.latency("a", "a") < 0.001
+
+    def test_override_is_symmetric(self):
+        model = LatencyModel()
+        model.set_latency("a", "b", 0.1)
+        assert model.latency("a", "b") == 0.1
+        assert model.latency("b", "a") == 0.1
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(Exception):
+            LatencyModel().set_latency("a", "b", -1)
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, env, net):
+        sender = _port(net, "alpha", "client")
+        receiver = _port(net, "beta", "server")
+
+        def rx(env):
+            msg = yield receiver.recv()
+            return (msg.kind, msg.payload, env.now)
+
+        p = env.process(rx(env))
+        sender.send(receiver.endpoint, "ping", payload={"n": 1})
+        kind, payload, at = env.run(p)
+        assert kind == "ping"
+        assert payload == {"n": 1}
+        assert at == pytest.approx(0.002)
+
+    def test_send_to_unknown_host_raises(self, net):
+        port = _port(net, "alpha", "x")
+        with pytest.raises(NetworkError):
+            port.send(Endpoint("nowhere", "y"), "k")
+
+    def test_send_from_dead_host_raises(self, net):
+        port = _port(net, "alpha", "x")
+        net.crash_host("alpha")
+        with pytest.raises(HostDown):
+            port.send(Endpoint("beta", "y"), "k")
+
+    def test_send_to_dead_host_is_silently_lost(self, env, net):
+        sender = _port(net, "alpha", "client")
+        receiver = _port(net, "beta", "server")
+        net.crash_host("beta")
+        sender.send(receiver.endpoint, "ping")
+        env.run()
+        assert receiver.pending() == 0
+        assert net.dropped_count == 1
+
+    def test_unbound_endpoint_loses_message(self, env, net):
+        sender = _port(net, "alpha", "client")
+        sender.send(Endpoint("beta", "nobody"), "ping")
+        env.run()
+        assert net.dropped_count == 1
+
+    def test_crash_mid_flight_loses_message(self, env, net):
+        """A message in flight when the destination dies is lost."""
+        sender = _port(net, "alpha", "client")
+        receiver = _port(net, "beta", "server")
+        sender.send(receiver.endpoint, "ping")
+        net.crash_host("beta")  # before the 2ms delivery
+        env.run()
+        assert receiver.pending() == 0
+
+    def test_restore_host_resumes_delivery(self, env, net):
+        sender = _port(net, "alpha", "client")
+        receiver = _port(net, "beta", "server")
+        net.crash_host("beta")
+        net.restore_host("beta")
+        sender.send(receiver.endpoint, "ping")
+        env.run()
+        assert receiver.pending() == 1
+
+    def test_fifo_order_same_pair(self, env, net):
+        sender = _port(net, "alpha", "client")
+        receiver = _port(net, "beta", "server")
+        got = []
+
+        def rx(env):
+            for _ in range(3):
+                msg = yield receiver.recv()
+                got.append(msg.payload)
+
+        env.process(rx(env))
+        for i in range(3):
+            sender.send(receiver.endpoint, "seq", payload=i)
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_counters(self, env, net):
+        sender = _port(net, "alpha", "client")
+        receiver = _port(net, "beta", "server")
+        sender.send(receiver.endpoint, "a")
+        sender.send(receiver.endpoint, "b")
+        env.run()
+        assert net.sent_count == 2
+        assert net.delivered_count == 2
+        assert receiver.pending() == 2
+
+
+class TestPartition:
+    def test_partition_blocks_cross_group(self, env, net):
+        net.add_host("gamma")
+        a = _port(net, "alpha", "p")
+        b = _port(net, "beta", "p")
+        net.partition([["alpha"], ["beta", "gamma"]])
+        a.send(b.endpoint, "x")
+        env.run()
+        assert b.pending() == 0
+
+    def test_same_group_delivers(self, env, net):
+        net.add_host("gamma")
+        b = _port(net, "beta", "p")
+        g = _port(net, "gamma", "p")
+        net.partition([["alpha"], ["beta", "gamma"]])
+        b.send(g.endpoint, "x")
+        env.run()
+        assert g.pending() == 1
+
+    def test_heal_partition(self, env, net):
+        a = _port(net, "alpha", "p")
+        b = _port(net, "beta", "p")
+        net.partition([["alpha"], ["beta"]])
+        net.heal_partition()
+        a.send(b.endpoint, "x")
+        env.run()
+        assert b.pending() == 1
+
+    def test_loopback_survives_partition(self, env, net):
+        a1 = _port(net, "alpha", "p1")
+        a2 = _port(net, "alpha", "p2")
+        net.partition([["alpha"], ["beta"]])
+        a1.send(a2.endpoint, "x")
+        env.run()
+        assert a2.pending() == 1
+
+
+class TestDropRules:
+    def test_drop_rule_applies(self, env, net):
+        a = _port(net, "alpha", "p")
+        b = _port(net, "beta", "p")
+        rule = net.add_drop_rule(lambda m: m.kind == "lossy")
+        a.send(b.endpoint, "lossy")
+        a.send(b.endpoint, "ok")
+        env.run()
+        assert b.pending() == 1
+        net.remove_drop_rule(rule)
+        a.send(b.endpoint, "lossy")
+        env.run()
+        assert b.pending() == 2
+
+
+class TestMessage:
+    def test_reply_correlation(self):
+        req = Message(
+            src=Endpoint("a", "c"),
+            dst=Endpoint("b", "s"),
+            kind="do",
+            reply_to=Endpoint("a", "c"),
+            corr_id=9,
+        )
+        resp = req.reply("do.reply", payload="done")
+        assert resp.dst == Endpoint("a", "c")
+        assert resp.src == Endpoint("b", "s")
+        assert resp.corr_id == 9
+
+    def test_reply_without_reply_to_raises(self):
+        req = Message(src=Endpoint("a", "c"), dst=Endpoint("b", "s"), kind="do")
+        with pytest.raises(ValueError):
+            req.reply("r")
+
+    def test_unique_ids(self):
+        m1 = Message(src=Endpoint("a", "c"), dst=Endpoint("b", "s"), kind="k")
+        m2 = Message(src=Endpoint("a", "c"), dst=Endpoint("b", "s"), kind="k")
+        assert m1.msg_id != m2.msg_id

@@ -1,0 +1,192 @@
+"""Unit tests for the RPC layer and fault plans."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RPCTimeout
+from repro.net import Endpoint, FaultPlan, Network, Port, RPCError, call, random_loss
+from repro.net.rpc import reply_error, reply_ok
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    network = Network(env)
+    network.add_host("client")
+    network.add_host("server")
+    return network
+
+
+def echo_server(env, port):
+    """A server that echoes payloads, failing on payload == 'bad'."""
+    while True:
+        msg = yield port.recv()
+        if msg.payload == "bad":
+            reply_error(port, msg, payload="refused")
+        elif msg.payload == "slow":
+            yield env.timeout(10.0)
+            reply_ok(port, msg, payload="late")
+        else:
+            reply_ok(port, msg, payload=msg.payload)
+
+
+class TestRPC:
+    def test_roundtrip(self, env, net):
+        server = Port(net, Endpoint("server", "svc"))
+        client = Port(net, Endpoint("client", "cli"))
+        env.process(echo_server(env, server))
+
+        def caller(env):
+            result = yield from call(client, server.endpoint, "echo", "hello")
+            return (result, env.now)
+
+        result, at = env.run(env.process(caller(env)))
+        assert result == "hello"
+        assert at == pytest.approx(0.004)  # one round trip at 2 ms each way
+
+    def test_remote_error_raises(self, env, net):
+        server = Port(net, Endpoint("server", "svc"))
+        client = Port(net, Endpoint("client", "cli"))
+        env.process(echo_server(env, server))
+
+        def caller(env):
+            try:
+                yield from call(client, server.endpoint, "echo", "bad")
+            except RPCError as exc:
+                return exc.payload
+
+        assert env.run(env.process(caller(env))) == "refused"
+
+    def test_timeout_raises(self, env, net):
+        server = Port(net, Endpoint("server", "svc"))
+        client = Port(net, Endpoint("client", "cli"))
+        env.process(echo_server(env, server))
+
+        def caller(env):
+            try:
+                yield from call(client, server.endpoint, "echo", "slow", timeout=1.0)
+            except RPCTimeout:
+                return ("timeout", env.now)
+
+        assert env.run(env.process(caller(env))) == ("timeout", 1.0)
+
+    def test_timeout_not_triggered_when_reply_fast(self, env, net):
+        server = Port(net, Endpoint("server", "svc"))
+        client = Port(net, Endpoint("client", "cli"))
+        env.process(echo_server(env, server))
+
+        def caller(env):
+            result = yield from call(
+                client, server.endpoint, "echo", "quick", timeout=1.0
+            )
+            return result
+
+        assert env.run(env.process(caller(env))) == "quick"
+
+    def test_late_reply_after_timeout_is_ignored(self, env, net):
+        """The canceled reply wait must not corrupt later RPCs."""
+        server = Port(net, Endpoint("server", "svc"))
+        client = Port(net, Endpoint("client", "cli"))
+        env.process(echo_server(env, server))
+
+        def caller(env):
+            try:
+                yield from call(client, server.endpoint, "echo", "slow", timeout=1.0)
+            except RPCTimeout:
+                pass
+            result = yield from call(client, server.endpoint, "echo", "second")
+            return result
+
+        assert env.run(env.process(caller(env))) == "second"
+
+    def test_concurrent_calls_demultiplex(self, env, net):
+        server = Port(net, Endpoint("server", "svc"))
+        env.process(echo_server(env, server))
+        results = {}
+
+        def caller(env, tag):
+            port = Port(net, Endpoint("client", f"cli-{tag}"))
+            result = yield from call(port, server.endpoint, "echo", tag)
+            results[tag] = result
+
+        for tag in ("a", "b", "c"):
+            env.process(caller(env, tag))
+        env.run()
+        assert results == {"a": "a", "b": "b", "c": "c"}
+
+    def test_lost_request_times_out(self, env, net):
+        client = Port(net, Endpoint("client", "cli"))
+        # No server bound: the message is dropped.
+        def caller(env):
+            try:
+                yield from call(
+                    client, Endpoint("server", "nobody"), "echo", "x", timeout=0.5
+                )
+            except RPCTimeout:
+                return "lost"
+
+        assert env.run(env.process(caller(env))) == "lost"
+
+
+class TestFaultPlan:
+    def test_scheduled_crash_and_restore(self, env, net):
+        plan = FaultPlan().crash("server", at=1.0, duration=2.0)
+        plan.install(net)
+        states = []
+
+        def observer(env):
+            for t in (0.5, 1.5, 3.5):
+                yield env.timeout(t - env.now)
+                states.append(net.host_up("server"))
+
+        env.process(observer(env))
+        env.run()
+        assert states == [True, False, True]
+
+    def test_partition_window(self, env, net):
+        plan = FaultPlan().partition([["client"], ["server"]], at=1.0, duration=1.0)
+        plan.install(net)
+        a = Port(net, Endpoint("client", "p"))
+        b = Port(net, Endpoint("server", "p"))
+
+        def sender(env):
+            yield env.timeout(1.5)
+            a.send(b.endpoint, "during")
+            yield env.timeout(1.0)
+            a.send(b.endpoint, "after")
+
+        env.process(sender(env))
+        env.run()
+        kinds = [m.kind for m in b.mailbox.items]
+        assert kinds == ["after"]
+
+    def test_random_loss_rate(self, env, net):
+        rng = np.random.default_rng(42)
+        random_loss(net, probability=0.5, rng=rng)
+        a = Port(net, Endpoint("client", "p"))
+        b = Port(net, Endpoint("server", "p"))
+        n = 1000
+        for i in range(n):
+            a.send(b.endpoint, "x", payload=i)
+        env.run()
+        received = b.pending()
+        assert 400 < received < 600
+
+    def test_random_loss_kind_filter(self, env, net):
+        rng = np.random.default_rng(0)
+        random_loss(net, probability=1.0, rng=rng, kinds={"lossy"})
+        a = Port(net, Endpoint("client", "p"))
+        b = Port(net, Endpoint("server", "p"))
+        a.send(b.endpoint, "lossy")
+        a.send(b.endpoint, "safe")
+        env.run()
+        assert [m.kind for m in b.mailbox.items] == ["safe"]
+
+    def test_probability_validation(self, net):
+        with pytest.raises(ValueError):
+            random_loss(net, probability=1.5, rng=np.random.default_rng(0))

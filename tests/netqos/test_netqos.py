@@ -1,0 +1,219 @@
+"""Tests for the bandwidth broker and co-allocated network elements."""
+
+import pytest
+
+from repro.core import CoAllocationRequest, SubjobSpec, SubjobType
+from repro.errors import AllocationAborted, ReproError, ReservationError
+from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+from repro.netqos import (
+    BandwidthBroker,
+    FlowSpec,
+    PARAM_BANDWIDTH,
+    PARAM_DST,
+    PARAM_SRC,
+    make_qos_agent,
+)
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def broker(env):
+    b = BandwidthBroker(env)
+    b.add_link("lab", "computecenter", capacity=1000.0)
+    return b
+
+
+class TestBroker:
+    def test_allocate_and_release(self, broker):
+        flow = broker.allocate(FlowSpec("lab", "computecenter", 400.0))
+        assert broker.available("lab", "computecenter") == 600.0
+        flow.release()
+        assert broker.available("lab", "computecenter") == 1000.0
+
+    def test_symmetric_links_independent(self, broker):
+        broker.allocate(FlowSpec("lab", "computecenter", 800.0))
+        assert broker.available("computecenter", "lab") == 1000.0
+
+    def test_overcommit_rejected(self, broker):
+        broker.allocate(FlowSpec("lab", "computecenter", 800.0))
+        with pytest.raises(ReservationError):
+            broker.allocate(FlowSpec("lab", "computecenter", 300.0))
+        assert broker.rejections == 1
+
+    def test_unknown_link(self, broker):
+        with pytest.raises(ReproError):
+            broker.allocate(FlowSpec("lab", "nowhere", 1.0))
+
+    def test_double_release_rejected(self, broker):
+        flow = broker.allocate(FlowSpec("lab", "computecenter", 10.0))
+        flow.release()
+        with pytest.raises(ReproError):
+            flow.release()
+
+    def test_bad_specs_rejected(self, broker):
+        with pytest.raises(ReproError):
+            FlowSpec("a", "b", 0.0)
+        with pytest.raises(ReproError):
+            broker.add_link("a", "b", capacity=-5)
+
+
+class TestReservations:
+    def test_reserve_blocks_allocation_in_window(self, env, broker):
+        broker.reserve(FlowSpec("lab", "computecenter", 700.0),
+                       start=10.0, duration=50.0)
+        # Now (t=0): a big allocation that persists into the window is
+        # rejected by the conservative window check.
+        assert broker.available("lab", "computecenter", 10.0, 60.0) == 300.0
+        broker.allocate(FlowSpec("lab", "computecenter", 300.0))
+        with pytest.raises(ReservationError):
+            broker.reserve(FlowSpec("lab", "computecenter", 500.0),
+                           start=20.0, duration=10.0)
+
+    def test_claim_inside_window(self, env, broker):
+        resv = broker.reserve(FlowSpec("lab", "computecenter", 500.0),
+                              start=5.0, duration=10.0)
+        env.timeout(6.0)
+        env.run()
+        flow = broker.claim(resv.resv_id)
+        assert broker.available("lab", "computecenter") == 500.0
+        flow.release()
+
+    def test_claim_outside_window_rejected(self, env, broker):
+        resv = broker.reserve(FlowSpec("lab", "computecenter", 500.0),
+                              start=5.0, duration=10.0)
+        with pytest.raises(ReservationError):
+            broker.claim(resv.resv_id)  # t=0 < 5
+
+    def test_expired_reservation_frees_capacity(self, env, broker):
+        broker.reserve(FlowSpec("lab", "computecenter", 900.0),
+                       start=1.0, duration=2.0)
+        env.timeout(5.0)
+        env.run()
+        # Window passed unused: full capacity again.
+        flow = broker.allocate(FlowSpec("lab", "computecenter", 1000.0))
+        flow.release()
+
+    def test_cancel(self, broker):
+        resv = broker.reserve(FlowSpec("lab", "computecenter", 900.0),
+                              start=1.0, duration=2.0)
+        broker.cancel(resv.resv_id)
+        with pytest.raises(ReservationError):
+            broker.cancel(resv.resv_id)
+
+
+def qos_subjob(grid, bandwidth, start_type=SubjobType.REQUIRED):
+    return SubjobSpec(
+        contact=grid.site("netmgr").contact,
+        count=1,
+        executable="qos_agent",
+        start_type=start_type,
+        environment={
+            PARAM_SRC: "lab",
+            PARAM_DST: "computecenter",
+            PARAM_BANDWIDTH: bandwidth,
+        },
+    )
+
+
+@pytest.fixture
+def qos_grid():
+    """A compute site plus a network-manager 'site' fronting the broker."""
+    grid = (
+        GridBuilder(seed=29)
+        .add_machine("computecenter", nodes=32)
+        .add_machine("netmgr", nodes=4)
+        .build()
+    )
+    broker = BandwidthBroker(grid.env)
+    broker.add_link("lab", "computecenter", capacity=1000.0)
+    grid.programs["qos_agent"] = make_qos_agent(broker)
+    return grid, broker
+
+
+class TestCoAllocatedNetwork:
+    def test_compute_plus_network_co_allocation(self, qos_grid):
+        grid, broker = qos_grid
+        duroc = grid.duroc()
+        request = CoAllocationRequest(
+            [
+                SubjobSpec(contact=grid.site("computecenter").contact,
+                           count=8, executable=DEFAULT_EXECUTABLE),
+                qos_subjob(grid, bandwidth=600.0),
+            ]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            result = yield from job.commit()
+            # While released, the flow is pinned.
+            assert broker.available("lab", "computecenter") == 400.0
+            job.kill("experiment over")
+            return result
+
+        result = grid.run(grid.process(agent(grid.env)))
+        grid.run()
+        assert result.sizes == (8, 1)
+        # Kill released the network element's flow.
+        assert broker.available("lab", "computecenter") == 1000.0
+
+    def test_required_network_failure_aborts_computation(self, qos_grid):
+        grid, broker = qos_grid
+        # Pre-existing traffic leaves too little bandwidth.
+        broker.allocate(FlowSpec("lab", "computecenter", 900.0))
+        duroc = grid.duroc()
+        request = CoAllocationRequest(
+            [
+                SubjobSpec(contact=grid.site("computecenter").contact,
+                           count=8, executable=DEFAULT_EXECUTABLE),
+                qos_subjob(grid, bandwidth=600.0),
+            ]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            with pytest.raises(AllocationAborted, match="unavailable"):
+                yield from job.commit()
+            return True
+
+        assert grid.run(grid.process(agent(grid.env)))
+        grid.run()
+        # The compute subjob did not stay allocated.
+        assert grid.machine("computecenter").process_count == 0
+
+    def test_interactive_network_failure_downgrades_bandwidth(self, qos_grid):
+        """The application-defined response: retry at lower bandwidth."""
+        grid, broker = qos_grid
+        broker.allocate(FlowSpec("lab", "computecenter", 900.0))
+        duroc = grid.duroc()
+        request = CoAllocationRequest(
+            [
+                SubjobSpec(contact=grid.site("computecenter").contact,
+                           count=8, executable=DEFAULT_EXECUTABLE),
+                qos_subjob(grid, bandwidth=600.0,
+                           start_type=SubjobType.INTERACTIVE),
+            ]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+
+            def handler(job, slot, notification):
+                # Halve the bandwidth demand and try again.
+                downgraded = qos_subjob(
+                    grid, bandwidth=100.0,
+                    start_type=SubjobType.INTERACTIVE,
+                )
+                job.substitute(slot, downgraded)
+
+            job.set_interactive_handler(handler)
+            result = yield from job.commit()
+            return result
+
+        result = grid.run(grid.process(agent(grid.env)))
+        assert result.sizes == (8, 1)
+        assert broker.available("lab", "computecenter") == 0.0

@@ -1,0 +1,92 @@
+"""Property-based tests for RSL: parse/unparse round-trips."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rsl import (
+    Conjunction,
+    Disjunction,
+    MultiRequest,
+    Relation,
+    parse,
+    pretty,
+    unparse,
+)
+
+# -- strategies ----------------------------------------------------------
+
+_bare_chars = string.ascii_letters + string.digits + "._-/:"
+_any_chars = _bare_chars + ' "\'\t%$!'
+
+attribute_names = st.text(alphabet=string.ascii_letters, min_size=1, max_size=12)
+
+scalar_values = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=_any_chars, min_size=0, max_size=20),
+)
+
+
+def relations():
+    return st.builds(
+        lambda name, values: Relation(name, tuple(values)),
+        attribute_names,
+        st.lists(scalar_values, min_size=1, max_size=4),
+    )
+
+
+def specifications(max_depth: int = 3):
+    return st.recursive(
+        relations(),
+        lambda children: st.one_of(
+            st.builds(
+                lambda xs: Conjunction(tuple(xs)),
+                st.lists(children, min_size=1, max_size=4),
+            ),
+            st.builds(
+                lambda xs: Disjunction(tuple(xs)),
+                st.lists(children, min_size=1, max_size=4),
+            ),
+            st.builds(
+                lambda xs: MultiRequest(tuple(xs)),
+                st.lists(children, min_size=1, max_size=4),
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+# -- properties ----------------------------------------------------------
+
+
+@given(specifications())
+@settings(max_examples=200)
+def test_parse_unparse_roundtrip(spec):
+    """parse(unparse(x)) == x for every specification tree."""
+    assert parse(unparse(spec)) == spec
+
+
+@given(specifications())
+@settings(max_examples=100)
+def test_pretty_roundtrip(spec):
+    """The multi-line renderer is also re-parseable."""
+    assert parse(pretty(spec)) == spec
+
+
+@given(specifications())
+@settings(max_examples=100)
+def test_unparse_is_deterministic(spec):
+    assert unparse(spec) == unparse(spec)
+
+
+@given(specifications())
+@settings(max_examples=100)
+def test_walk_visits_all_relations(spec):
+    """Every relation in the tree is reachable via walk()."""
+    walked = list(spec.walk())
+    n_relations = sum(1 for node in walked if isinstance(node, Relation))
+    text = unparse(spec)
+    # Unparse emits exactly one '=' per relation (values never contain '=').
+    assert text.count("=") == n_relations

@@ -1,0 +1,126 @@
+"""Tests for RSL variable references and substitution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RSLSyntaxError, RSLValidationError
+from repro.rsl import (
+    Variable,
+    parse,
+    resolve_substitutions,
+    substitute_variables,
+    unparse,
+)
+
+
+class TestParsing:
+    def test_variable_reference(self):
+        spec = parse("directory=$(HOME)")
+        assert spec.values == (Variable("HOME"),)
+
+    def test_variable_among_values(self):
+        spec = parse("arguments=pre $(EXE) post")
+        assert spec.values == ("pre", Variable("EXE"), "post")
+
+    def test_variable_inside_sequence(self):
+        spec = parse("environment=(PATH $(BIN))")
+        seq = spec.values[0]
+        assert seq.values == ("PATH", Variable("BIN"))
+
+    def test_roundtrip(self):
+        text = "&(rslSubstitution=(HOME /home/a))(directory=$(HOME))(count=2)"
+        spec = parse(text)
+        assert parse(unparse(spec)) == spec
+
+    def test_dollar_without_parens_rejected(self):
+        with pytest.raises(RSLSyntaxError):
+            parse("directory=$HOME")
+
+    def test_string_with_dollar_stays_string(self):
+        spec = parse('arguments="$not-a-var"')
+        assert spec.values == ("$not-a-var",)
+        assert parse(unparse(spec)) == spec
+
+
+class TestSubstitution:
+    def test_basic(self):
+        spec = parse("&(directory=$(HOME))(executable=$(HOME))")
+        resolved = substitute_variables(spec, {"HOME": "/home/alice"})
+        assert resolved.get("directory") == "/home/alice"
+
+    def test_unbound_raises(self):
+        spec = parse("&(directory=$(NOPE))")
+        with pytest.raises(RSLValidationError, match="unbound"):
+            substitute_variables(spec, {})
+
+    def test_nested_sequences(self):
+        spec = parse("&(environment=(HOME $(H))(SHELL /bin/sh))")
+        resolved = substitute_variables(spec, {"H": "/home/bob"})
+        assert "/home/bob" in unparse(resolved)
+
+    def test_resolve_own_bindings(self):
+        spec = parse(
+            "&(rslSubstitution=(HOME /home/alice)(N 4))"
+            "(directory=$(HOME))(count=$(N))(executable=x)"
+        )
+        resolved = resolve_substitutions(spec)
+        assert resolved.get("directory") == "/home/alice"
+        assert resolved.get("count") == 4
+        # The binding relation itself is consumed.
+        assert resolved.get("rslSubstitution") is None
+
+    def test_extra_bindings_take_precedence(self):
+        spec = parse(
+            "&(rslSubstitution=(HOME /default))(directory=$(HOME))"
+        )
+        resolved = resolve_substitutions(spec, extra={"HOME": "/override"})
+        assert resolved.get("directory") == "/override"
+
+    def test_malformed_binding_rejected(self):
+        spec = parse("&(rslSubstitution=flat)(directory=$(X))")
+        with pytest.raises(RSLValidationError, match="NAME value"):
+            resolve_substitutions(spec)
+
+    def test_through_gram_submission(self):
+        """A gatekeeper resolves $(...) before validating the request."""
+        from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+        from repro.gram.states import JobState
+
+        grid = GridBuilder(seed=47).add_machine("m", nodes=8).build()
+        client = grid.gram_client()
+        contact = grid.site("m").contact
+        rsl = (
+            f"&(rslSubstitution=(APP {DEFAULT_EXECUTABLE})(NPROC 2))"
+            f"(resourceManagerContact={contact})"
+            "(count=$(NPROC))(executable=$(APP))"
+        )
+
+        def scenario(env):
+            handle = yield from client.submit(contact, rsl)
+            state = yield from client.wait_for_state(handle, JobState.DONE)
+            return state
+
+        state = grid.run(grid.process(scenario(grid.env)))
+        assert state is JobState.DONE
+        job = next(iter(grid.site("m").gatekeeper.job_managers.values())).job
+        assert job.count == 2
+        assert job.executable == DEFAULT_EXECUTABLE
+
+
+@given(
+    name=st.text(alphabet="ABCDEFGHIJK", min_size=1, max_size=6),
+    value=st.one_of(st.integers(-1000, 1000),
+                    st.text(alphabet="abc/._-", min_size=1, max_size=10)),
+)
+@settings(max_examples=100)
+def test_substitution_roundtrip_property(name, value):
+    """Binding then resolving yields the literal value everywhere."""
+    from repro.rsl.ast import Conjunction, Relation, Variable as V
+
+    spec = Conjunction((Relation("attr", (V(name), "fixed")),))
+    resolved = substitute_variables(spec, {name: value})
+    rel = resolved.relations()["attr"]
+    assert rel.values == (value, "fixed")
+    # Unparse of the resolved form re-parses equal.
+    assert parse(unparse(resolved)) == resolved

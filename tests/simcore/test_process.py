@@ -1,0 +1,235 @@
+"""Unit tests for repro.simcore.process."""
+
+import pytest
+
+from repro.errors import SimulationError, StopProcess
+from repro.simcore import Environment, Interrupt
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_process_runs_and_returns(self, env):
+        def proc(env):
+            yield env.timeout(2.0)
+            return "result"
+
+        p = env.process(proc(env))
+        assert env.run(p) == "result"
+        assert env.now == 2.0
+
+    def test_process_is_event_join(self, env):
+        def worker(env):
+            yield env.timeout(3.0)
+            return 7
+
+        def parent(env):
+            value = yield env.process(worker(env))
+            return value * 2
+
+        assert env.run(env.process(parent(env))) == 14
+
+    def test_yield_value_comes_from_event(self, env):
+        def proc(env):
+            got = yield env.timeout(1.0, value="payload")
+            return got
+
+        assert env.run(env.process(proc(env))) == "payload"
+
+    def test_exception_in_process_fails_run(self, env):
+        def proc(env):
+            yield env.timeout(1.0)
+            raise ValueError("inside")
+
+        with pytest.raises(ValueError, match="inside"):
+            env.run(env.process(proc(env)))
+
+    def test_failed_event_raises_at_yield(self, env):
+        ev = env.event()
+
+        def proc(env):
+            try:
+                yield ev
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = env.process(proc(env))
+        ev.fail(RuntimeError("bad"))
+        assert env.run(p) == "caught bad"
+
+    def test_yield_non_event_is_error(self, env):
+        def proc(env):
+            yield 42
+
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run(env.process(proc(env)))
+
+    def test_cross_environment_yield_is_error(self, env):
+        other = Environment()
+
+        def proc(env):
+            yield other.timeout(1)
+
+        with pytest.raises(SimulationError, match="another environment"):
+            env.run(env.process(proc(env)))
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_is_alive_lifecycle(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_stop_process_terminates_cleanly(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise StopProcess("early")
+            yield env.timeout(10)  # pragma: no cover
+
+        assert env.run(env.process(proc(env))) == "early"
+        assert env.now == 1
+
+    def test_immediate_return_process(self, env):
+        def proc(env):
+            return "now"
+            yield  # pragma: no cover - makes this a generator
+
+        assert env.run(env.process(proc(env))) == "now"
+
+    def test_active_process_tracking(self, env):
+        observed = []
+
+        def proc(env):
+            observed.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert observed == [p]
+        assert env.active_process is None
+
+    def test_already_processed_event_resumes_immediately(self, env):
+        done = env.event()
+        done.succeed("x")
+        done.defused = True
+
+        def waiter(env):
+            value = yield done
+            return value
+
+        def spawner(env):
+            yield env.timeout(1)
+            return (yield env.process(waiter(env)))
+
+        assert env.run(env.process(spawner(env))) == "x"
+
+
+class TestInterrupt:
+    def test_interrupt_raises_in_process(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause)
+
+        def interrupter(env, victim_proc):
+            yield env.timeout(5)
+            victim_proc.interrupt(cause="deadline")
+
+        v = env.process(victim(env))
+        env.process(interrupter(env, v))
+        assert env.run(v) == ("interrupted", "deadline")
+        assert env.now == 5
+
+    def test_interrupt_detaches_from_target(self, env):
+        """After an interrupt, the original event must not resume the process."""
+        resumed_twice = []
+
+        def victim(env):
+            try:
+                yield env.timeout(10)
+            except Interrupt:
+                pass
+            resumed_twice.append(env.now)
+            yield env.timeout(100)
+
+        def interrupter(env, victim_proc):
+            yield env.timeout(1)
+            victim_proc.interrupt()
+
+        v = env.process(victim(env))
+        env.process(interrupter(env, v))
+        env.run(until=50)
+        assert resumed_twice == [1]
+
+    def test_interrupt_dead_process_is_error(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_self_interrupt_is_error(self, env):
+        def proc(env):
+            env.active_process.interrupt()
+            yield env.timeout(1)
+
+        with pytest.raises(SimulationError, match="cannot interrupt itself"):
+            env.run(env.process(proc(env)))
+
+    def test_uncaught_interrupt_kills_process(self, env):
+        def victim(env):
+            yield env.timeout(100)
+
+        def interrupter(env, v):
+            yield env.timeout(1)
+            v.interrupt("die")
+
+        v = env.process(victim(env))
+        env.process(interrupter(env, v))
+        with pytest.raises(Interrupt):
+            env.run(v)
+
+    def test_interrupt_racing_with_completion_is_dropped(self, env):
+        """Interrupt scheduled at the same instant the victim finishes."""
+
+        def victim(env):
+            yield env.timeout(1)
+            return "done"
+
+        def interrupter(env, v):
+            yield env.timeout(1)
+            if v.is_alive:
+                v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(interrupter(env, v))
+        assert env.run(v) == "done"
+
+    def test_multiple_waiters_on_one_process(self, env):
+        def worker(env):
+            yield env.timeout(2)
+            return "w"
+
+        results = []
+
+        def waiter(env, target, tag):
+            value = yield target
+            results.append((tag, value))
+
+        w = env.process(worker(env))
+        env.process(waiter(env, w, "a"))
+        env.process(waiter(env, w, "b"))
+        env.run()
+        assert sorted(results) == [("a", "w"), ("b", "w")]

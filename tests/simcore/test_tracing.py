@@ -1,0 +1,144 @@
+"""Unit tests for the trace recorder and RNG registry."""
+
+import numpy as np
+import pytest
+
+from repro.simcore import Environment, NullTracer, RngRegistry, Tracer, jittered
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def tracer(env):
+    return Tracer(env)
+
+
+class TestTracer:
+    def test_record_span(self, tracer):
+        span = tracer.record("phase", 1.0, 3.5, site="RM1")
+        assert span.duration == 2.5
+        assert tracer.spans_named("phase") == [span]
+
+    def test_span_context_manager(self, env, tracer):
+        def proc(env):
+            with tracer.span("sync-work", tag="x"):
+                pass  # synchronous section
+            yield env.timeout(1)
+
+        env.run(env.process(proc(env)))
+        (span,) = tracer.spans_named("sync-work")
+        assert span.duration == 0.0
+        assert span.attrs == {"tag": "x"}
+
+    def test_open_span_across_yields(self, env, tracer):
+        def proc(env):
+            open_span = tracer.span("slow-work")
+            yield env.timeout(2.5)
+            open_span.close()
+
+        env.run(env.process(proc(env)))
+        (span,) = tracer.spans_named("slow-work")
+        assert span.duration == 2.5
+
+    def test_attr_filtering(self, tracer):
+        tracer.record("op", 0, 1, site="a")
+        tracer.record("op", 1, 2, site="b")
+        assert len(tracer.spans_named("op")) == 2
+        assert len(tracer.spans_named("op", site="a")) == 1
+
+    def test_total(self, tracer):
+        tracer.record("op", 0, 1)
+        tracer.record("op", 5, 7)
+        assert tracer.total("op") == 3.0
+
+    def test_marks(self, env, tracer):
+        def proc(env):
+            yield env.timeout(4)
+            tracer.mark("commit", job="j1")
+
+        env.run(env.process(proc(env)))
+        (mark,) = tracer.marks_named("commit")
+        assert mark.time == 4.0
+        assert tracer.marks_named("commit", job="j2") == []
+
+    def test_timeline_ordering(self, tracer):
+        tracer.record("b", 1, 3)
+        tracer.record("a", 0, 2)
+        entries = list(tracer.timeline())
+        times = [t for t, _, _ in entries]
+        assert times == sorted(times)
+
+    def test_fingerprint_order_insensitive(self, env):
+        t1, t2 = Tracer(env), Tracer(env)
+        t1.record("x", 0, 1)
+        t1.record("y", 1, 2)
+        t2.record("y", 1, 2)
+        t2.record("x", 0, 1)
+        assert t1.fingerprint() == t2.fingerprint()
+
+    def test_fingerprint_detects_difference(self, env):
+        t1, t2 = Tracer(env), Tracer(env)
+        t1.record("x", 0, 1)
+        t2.record("x", 0, 1.5)
+        assert t1.fingerprint() != t2.fingerprint()
+
+    def test_null_tracer_drops_everything(self):
+        tracer = NullTracer()
+        tracer.record("x", 0, 1)
+        tracer.mark("m")
+        assert tracer.spans == []
+        assert tracer.marks == []
+
+
+class TestRngRegistry:
+    def test_streams_are_deterministic(self):
+        a = RngRegistry(seed=5).stream("gram").random(4)
+        b = RngRegistry(seed=5).stream("gram").random(4)
+        assert np.allclose(a, b)
+
+    def test_streams_differ_by_name(self):
+        rngs = RngRegistry(seed=5)
+        assert not np.allclose(
+            rngs.stream("x").random(4), rngs.stream("y").random(4)
+        )
+
+    def test_streams_differ_by_seed(self):
+        assert not np.allclose(
+            RngRegistry(0).stream("x").random(4),
+            RngRegistry(1).stream("x").random(4),
+        )
+
+    def test_stream_is_cached(self):
+        rngs = RngRegistry()
+        assert rngs.stream("a") is rngs.stream("a")
+        assert "a" in rngs
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        rngs1 = RngRegistry(seed=3)
+        s1 = rngs1.stream("alpha")
+        first = s1.random(3)
+
+        rngs2 = RngRegistry(seed=3)
+        rngs2.stream("beta")  # extra stream created first
+        second = rngs2.stream("alpha").random(3)
+        assert np.allclose(first, second)
+
+
+class TestJittered:
+    def test_zero_cv_is_exact(self):
+        rng = np.random.default_rng(0)
+        assert jittered(rng, 2.0, cv=0.0) == 2.0
+        assert jittered(None, 2.0, cv=0.5) == 2.0
+
+    def test_positive_and_near_mean(self):
+        rng = np.random.default_rng(0)
+        draws = [jittered(rng, 2.0, cv=0.3) for _ in range(500)]
+        assert all(d > 0 for d in draws)
+        assert abs(sum(draws) / len(draws) - 2.0) < 0.1
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            jittered(None, -1.0)

@@ -1,0 +1,64 @@
+"""Sanity checks on the exception hierarchy."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    AllocationAborted,
+    AuthenticationError,
+    CoAllocationError,
+    GramError,
+    HostDown,
+    NetworkError,
+    RPCTimeout,
+    ReproError,
+    ReservationError,
+    RequestStateError,
+    RSLSyntaxError,
+    RSLValidationError,
+    SchedulerError,
+    SimulationError,
+    StopProcess,
+)
+
+
+class TestHierarchy:
+    def test_every_library_error_is_reproerror(self):
+        """Applications can catch everything with one except clause."""
+        for _, obj in inspect.getmembers(errors_module, inspect.isclass):
+            if obj is StopProcess:
+                continue  # deliberately BaseException-derived
+            if issubclass(obj, BaseException):
+                assert issubclass(obj, ReproError), obj
+
+    def test_stop_process_evades_broad_except(self):
+        """StopProcess must not be swallowed by `except Exception`."""
+        assert issubclass(StopProcess, BaseException)
+        assert not issubclass(StopProcess, Exception)
+
+    @pytest.mark.parametrize(
+        "child,parent",
+        [
+            (RPCTimeout, NetworkError),
+            (HostDown, NetworkError),
+            (RSLSyntaxError, ReproError),
+            (RSLValidationError, ReproError),
+            (ReservationError, SchedulerError),
+            (AllocationAborted, CoAllocationError),
+            (RequestStateError, CoAllocationError),
+        ],
+    )
+    def test_specific_parentage(self, child, parent):
+        assert issubclass(child, parent)
+
+    def test_disjoint_domains(self):
+        """Domain roots do not cross-inherit (catching one never hides
+        another subsystem's failures)."""
+        roots = [SimulationError, NetworkError, AuthenticationError,
+                 GramError, SchedulerError, CoAllocationError]
+        for a in roots:
+            for b in roots:
+                if a is not b:
+                    assert not issubclass(a, b)

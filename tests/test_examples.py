@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+def test_cli_runner_subset():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "fig3"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=pathlib.Path(__file__).resolve().parent.parent,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "initgroups" in result.stdout
+
+
+def test_cli_runner_rejects_unknown():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.experiments", "nonesuch"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 2

@@ -1,0 +1,84 @@
+"""Unit tests for the grid builder/composition layer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+
+
+class TestGridBuilder:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ReproError):
+            GridBuilder().build()
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ReproError, match="unknown scheduler"):
+            GridBuilder().add_machine("m", nodes=4, scheduler="magic")
+
+    def test_add_machines_prefix(self):
+        grid = GridBuilder().add_machines("node", 3, nodes=8).build()
+        assert set(grid.sites) == {"node1", "node2", "node3"}
+
+    def test_default_program_registered(self):
+        grid = GridBuilder().add_machine("m", nodes=4).build()
+        assert DEFAULT_EXECUTABLE in grid.programs
+
+    def test_custom_program_shared_across_sites(self):
+        def prog(ctx):
+            yield ctx.env.timeout(1)
+
+        grid = (
+            GridBuilder()
+            .add_machine("a", nodes=4)
+            .add_machine("b", nodes=4)
+            .program("custom", prog)
+            .build()
+        )
+        assert grid.site("a").gatekeeper.programs is grid.site(
+            "b"
+        ).gatekeeper.programs
+        assert "custom" in grid.programs
+
+    def test_user_authorized_everywhere(self):
+        grid = GridBuilder(user="bob").add_machines("m", 2, nodes=4).build()
+        for site in grid.sites.values():
+            assert site.gridmap.authorized("bob")
+        assert grid.credential.subject == "bob"
+
+    def test_per_machine_cost_override(self):
+        from repro.gram import FREE_COSTS
+
+        grid = (
+            GridBuilder()
+            .add_machine("cheap", nodes=4, costs=FREE_COSTS)
+            .add_machine("normal", nodes=4)
+            .build()
+        )
+        assert grid.site("cheap").costs.initgroups == 0.0
+        assert grid.site("normal").costs.initgroups == 0.7
+
+    def test_unknown_site_lookup(self):
+        grid = GridBuilder().add_machine("m", nodes=4).build()
+        with pytest.raises(ReproError):
+            grid.site("nowhere")
+
+    def test_contacts_list(self):
+        grid = GridBuilder().add_machines("m", 2, nodes=4).build()
+        assert grid.contacts() == ["m1:gatekeeper", "m2:gatekeeper"]
+
+    def test_client_host_registered(self):
+        grid = GridBuilder(client_host="workstation").add_machine(
+            "m", nodes=4
+        ).build()
+        assert grid.network.has_host("workstation")
+        assert grid.client_host == "workstation"
+
+    def test_latency_applied(self):
+        grid = GridBuilder(latency=0.05).add_machine("m", nodes=4).build()
+        assert grid.network.latency_model.latency("client", "m") == 0.05
+
+    def test_run_until(self):
+        grid = GridBuilder().add_machine("m", nodes=4).build()
+        grid.env.timeout(10)
+        grid.run(until=5)
+        assert grid.now == 5.0

@@ -1,0 +1,117 @@
+"""Tests for the realistic parallel-workload model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.gridenv import GridBuilder
+from repro.workloads import TraceJob, TraceReplayer, WorkloadModel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def model():
+    return WorkloadModel(max_nodes=64)
+
+
+class TestWorkloadModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(max_nodes=0)
+        with pytest.raises(ValueError):
+            WorkloadModel(peak_interarrival=0)
+        with pytest.raises(ValueError):
+            WorkloadModel(night_factor=0.5)
+        with pytest.raises(ValueError):
+            TraceJob(job_id="x", arrival=0, nodes=0, runtime=1, estimate=1)
+
+    def test_sizes_within_machine(self, model, rng):
+        sizes = [model.draw_nodes(rng) for _ in range(2000)]
+        assert all(1 <= n <= 64 for n in sizes)
+
+    def test_power_of_two_bias(self, model, rng):
+        sizes = [model.draw_nodes(rng) for _ in range(5000)]
+        pow2 = sum(1 for n in sizes if n & (n - 1) == 0)
+        # 75% forced + uniform draws that happen to hit powers of two.
+        assert pow2 / len(sizes) > 0.7
+
+    def test_runtime_heavy_tail(self, model, rng):
+        runtimes = np.array([model.draw_runtime(rng) for _ in range(5000)])
+        # Lognormal: mean well above median.
+        assert runtimes.mean() > 1.5 * np.median(runtimes)
+        assert runtimes.min() > 0
+
+    def test_estimates_never_below_runtime(self, model, rng):
+        for _ in range(1000):
+            runtime = model.draw_runtime(rng)
+            assert model.draw_estimate(rng, runtime) >= runtime
+
+    def test_daily_cycle_shape(self, model):
+        midnight = model.arrival_rate_factor(0.0)
+        midday = model.arrival_rate_factor(model.day_length / 2)
+        assert midday == pytest.approx(1.0)
+        assert midnight == pytest.approx(1.0 / model.night_factor)
+        # Periodicity.
+        assert model.arrival_rate_factor(model.day_length * 2.25) == (
+            pytest.approx(model.arrival_rate_factor(model.day_length * 0.25))
+        )
+
+    def test_generation_window_and_order(self, model, rng):
+        jobs = list(model.generate(rng, horizon=7200.0, start=100.0))
+        assert jobs, "no jobs generated in two hours"
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(100.0 <= a < 7300.0 for a in arrivals)
+
+    def test_generation_deterministic(self, model):
+        a = list(model.generate(np.random.default_rng(3), horizon=3600))
+        b = list(model.generate(np.random.default_rng(3), horizon=3600))
+        assert a == b
+
+
+class TestTraceReplayer:
+    def test_replay_through_scheduler(self, model):
+        grid = (
+            GridBuilder(seed=5)
+            .add_machine("m", nodes=64, scheduler="backfill")
+            .build()
+        )
+        jobs = list(
+            model.generate(grid.rngs.stream("trace"), horizon=4000.0)
+        )
+        replayer = TraceReplayer(grid.site("m"), jobs)
+        grid.run(until=40_000.0)
+        stats = replayer.stats
+        assert stats.submitted == len(jobs)
+        assert stats.completed == len(jobs)
+        assert stats.mean_wait >= 0.0
+        assert stats.p95_wait >= stats.mean_wait * 0.5
+        # Conservation held.
+        assert grid.site("m").scheduler.free == 64
+
+    def test_fcfs_waits_at_least_backfill_throughput(self, model):
+        """Backfill completes the same trace no slower than FCFS."""
+
+        def run(policy):
+            grid = (
+                GridBuilder(seed=9)
+                .add_machine("m", nodes=64, scheduler=policy)
+                .build()
+            )
+            jobs = list(
+                model.generate(grid.rngs.stream("trace"), horizon=3000.0)
+            )
+            replayer = TraceReplayer(grid.site("m"), jobs)
+            grid.run(until=50_000.0)
+            return replayer.stats
+
+        fcfs = run("fcfs")
+        easy = run("backfill")
+        assert fcfs.completed == easy.completed
+        # The canonical result: backfill cuts mean wait on real-ish loads.
+        assert easy.mean_wait <= fcfs.mean_wait
