@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Exit status: 0 when clean, 1 when any finding (error or warning)
+survives suppression, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.callback_safety import CallbackSafetyChecker
+from repro.analysis.determinism import DeterminismChecker
+from repro.analysis.framework import Analyzer, Checker
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rsl_schema import RslSchemaChecker
+from repro.analysis.statemachine import StateMachineChecker
+
+
+def all_checkers() -> list[Checker]:
+    """One fresh instance of every shipped checker."""
+    return [
+        DeterminismChecker(),
+        StateMachineChecker(),
+        CallbackSafetyChecker(),
+        RslSchemaChecker(),
+    ]
+
+
+def _default_paths() -> list[str]:
+    src = Path("src/repro")
+    return [str(src)] if src.is_dir() else ["."]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checks for the co-allocation codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids, families (det, sm, cb, rsl) or "
+        "checker names to run; everything else is skipped",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its summary and exit",
+    )
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for checker in all_checkers():
+        lines.append(f"[{checker.name}]")
+        for rule in checker.rules:
+            lines.append(f"  {rule.id:<24} {rule.severity.value:<8} {rule.summary}")
+    return "\n".join(lines)
+
+
+def _known_selectors(checkers: Sequence[Checker]) -> set[str]:
+    known: set[str] = set()
+    for checker in checkers:
+        known.add(checker.name)
+        for rule in checker.rules:
+            known.add(rule.id)
+            known.add(rule.id.split("-", 1)[0])
+    return known
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    select = args.select.split(",") if args.select else None
+    if select is not None:
+        unknown = sorted(
+            token.strip()
+            for token in select
+            if token.strip() not in _known_selectors(all_checkers())
+        )
+        if unknown:
+            parser.error(
+                f"--select: unknown rule/family/checker {', '.join(unknown)} "
+                f"(see --list-rules)"
+            )
+    analyzer = Analyzer(all_checkers(), select=select)
+    report = analyzer.run(args.paths or _default_paths())
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(rendered)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

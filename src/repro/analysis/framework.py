@@ -1,0 +1,249 @@
+"""The AST-walking checker framework.
+
+A :class:`Checker` inspects one parsed module at a time and yields
+:class:`Finding` records; the :class:`Analyzer` owns file discovery,
+parsing, suppression handling (``# repro: noqa <rule-id>``), rule
+selection, and aggregation into an :class:`AnalysisReport`.
+
+Checkers are purely static — they read source text and ASTs, never
+import or execute the code under analysis — so they are safe to run on
+broken or hostile trees and always terminate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+#: Rule id of the synthetic finding emitted for unparseable files.
+PARSE_ERROR = "parse-error"
+
+#: ``# repro: noqa`` / ``# repro: noqa rule-a, rule-b`` (id list optional).
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?:[:\s]+(?P<rules>[\w\s,-]+))?", re.IGNORECASE
+)
+
+
+class Severity(str, Enum):
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One checkable invariant."""
+
+    id: str
+    summary: str
+    severity: Severity = Severity.ERROR
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def location(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}"
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to checkers."""
+
+    path: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+class Checker:
+    """Base class: subclasses declare rules and visit modules."""
+
+    #: Family name, usable with ``--select``.
+    name: str = "checker"
+    rules: tuple[Rule, ...] = ()
+
+    def rule(self, rule_id: str) -> Rule:
+        for rule in self.rules:
+            if rule.id == rule_id:
+                return rule
+        raise KeyError(f"{self.name}: unknown rule {rule_id!r}")
+
+    def finding(
+        self, module: Module, node: ast.AST, rule_id: str, message: str
+    ) -> Finding:
+        rule = self.rule(rule_id)
+        return Finding(
+            file=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule.id,
+            severity=rule.severity,
+            message=message,
+        )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def finalize(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        """Yield whole-run findings after every module was visited."""
+        return iter(())
+
+
+def suppressed_rules(line: str) -> Optional[set[str]]:
+    """Rule ids suppressed by a source line's noqa comment.
+
+    Returns None when the line carries no suppression, the empty set for
+    a blanket ``# repro: noqa``, and the id set otherwise.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if not rules:
+        return set()
+    return {part.strip().lower() for part in re.split(r"[,\s]+", rules) if part.strip()}
+
+
+def is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    """True if the finding's line carries a matching suppression."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    rules = suppressed_rules(lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule.lower() in rules
+
+
+def iter_python_files(paths: Iterable[str]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if any(part.startswith(".") or part == "__pycache__"
+                       for part in sub.parts):
+                    continue
+                out.add(sub)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    findings: list[Finding]
+    suppressed: int
+    files_checked: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _selected(finding: Finding, checker: Checker, select: Optional[set[str]]) -> bool:
+    if select is None:
+        return True
+    rule = finding.rule.lower()
+    family = rule.split("-", 1)[0]
+    return bool({rule, family, checker.name.lower()} & select)
+
+
+class Analyzer:
+    """Drive a set of checkers over a set of files."""
+
+    def __init__(
+        self,
+        checkers: Sequence[Checker],
+        select: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.checkers = list(checkers)
+        self.select = (
+            {s.strip().lower() for s in select if s.strip()} if select else None
+        )
+
+    def parse(self, path: Path) -> "Module | Finding":
+        """Parse one file into a Module, or a parse-error Finding."""
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            return Finding(
+                file=str(path),
+                line=line,
+                col=1,
+                rule=PARSE_ERROR,
+                severity=Severity.ERROR,
+                message=f"could not parse: {exc}",
+            )
+        return Module(path=str(path), tree=tree, source=source)
+
+    def run(self, paths: Iterable[str]) -> AnalysisReport:
+        files = iter_python_files(paths)
+        modules: list[Module] = []
+        findings: list[Finding] = []
+        suppressed = 0
+
+        for path in files:
+            parsed = self.parse(path)
+            if isinstance(parsed, Finding):
+                findings.append(parsed)
+                continue
+            modules.append(parsed)
+
+        by_path = {module.path: module for module in modules}
+        raw: list[tuple[Finding, Checker]] = []
+        for module in modules:
+            for checker in self.checkers:
+                for finding in checker.check(module):
+                    raw.append((finding, checker))
+        for checker in self.checkers:
+            for finding in checker.finalize(modules):
+                raw.append((finding, checker))
+
+        for finding, checker in raw:
+            if not _selected(finding, checker, self.select):
+                continue
+            module = by_path.get(finding.file)
+            if module is not None and is_suppressed(finding, module.lines):
+                suppressed += 1
+                continue
+            findings.append(finding)
+
+        return AnalysisReport(
+            findings=sorted(set(findings)),
+            suppressed=suppressed,
+            files_checked=len(files),
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

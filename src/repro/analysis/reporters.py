@@ -1,0 +1,45 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.framework import AnalysisReport
+
+
+def render_text(report: AnalysisReport) -> str:
+    """``file:line:col: rule severity: message`` lines plus a summary."""
+    lines = [
+        f"{f.location()}: {f.rule} {f.severity.value}: {f.message}"
+        for f in report.findings
+    ]
+    errors = sum(1 for f in report.findings if f.severity.value == "error")
+    warnings = len(report.findings) - errors
+    summary = (
+        f"{len(report.findings)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s), "
+        f"{report.suppressed} suppressed) in {report.files_checked} file(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Stable JSON document for tooling and CI annotation."""
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "suppressed": report.suppressed,
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "severity": f.severity.value,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,152 @@
+"""RSL attribute-schema lints.
+
+RSL attribute names are plain strings, so a typo'd key
+(``resourceManagerContract=...``) parses fine, validates fine (unknown
+attributes pass through by default), and only surfaces mid-simulation
+as a subjob that ignores its intended constraint.  This checker
+validates attribute keys inside RSL string literals — including the
+constant parts of f-strings — and literal first arguments of
+``Relation(...)`` constructions against the canonical registry in
+:mod:`repro.rsl.attributes`, at lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.framework import Checker, Finding, Module, Rule, Severity
+
+try:
+    from repro.rsl.attributes import KNOWN_ATTRIBUTES, START_TYPES
+except ImportError:  # pragma: no cover - analysis shipped standalone
+    KNOWN_ATTRIBUTES, START_TYPES = {}, ()
+
+#: Placeholder substituted for interpolated f-string fragments.
+_HOLE = "\x00"
+
+#: ``(key=`` with the key captured; RSL keys are bare words.
+_KEY_RE = re.compile(r"\(\s*([A-Za-z_][A-Za-z0-9_]*)\s*=")
+
+#: ``subjobStartType=value`` with a literal (non-interpolated) value.
+_START_TYPE_RE = re.compile(
+    r"subjobstarttype\s*=\s*\"?([A-Za-z][A-Za-z0-9_-]*)\"?", re.IGNORECASE
+)
+
+
+def looks_like_rsl(text: str) -> bool:
+    """Heuristic: the string is an RSL specification fragment."""
+    stripped = text.lstrip()
+    if not stripped.startswith(("+", "&", "|", "(")):
+        return False
+    return _KEY_RE.search(text) is not None
+
+
+class RslSchemaChecker(Checker):
+    """Validate RSL attribute keys at construction sites."""
+
+    name = "rsl-schema"
+    rules = (
+        Rule("rsl-unknown-attribute",
+             "RSL attribute key not in the canonical registry",
+             Severity.ERROR),
+        Rule("rsl-bad-start-type",
+             "subjobStartType value is not required/interactive/optional",
+             Severity.ERROR),
+    )
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        if not KNOWN_ATTRIBUTES:  # pragma: no cover - registry unavailable
+            return
+        docstrings = _docstring_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            text: Optional[str] = None
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                if id(node) in docstrings:
+                    continue
+                text = node.value
+            elif isinstance(node, ast.JoinedStr):
+                text = _flatten_fstring(node)
+            if text is not None and looks_like_rsl(text):
+                yield from self._check_rsl_text(module, node, text)
+            if isinstance(node, ast.Call):
+                yield from self._check_relation(module, node)
+
+    # ------------------------------------------------------------------
+
+    def _check_rsl_text(
+        self, module: Module, node: ast.AST, text: str
+    ) -> Iterator[Finding]:
+        seen: set[str] = set()
+        for match in _KEY_RE.finditer(text):
+            key = match.group(1)
+            if _HOLE in key or key.lower() in seen:
+                continue
+            seen.add(key.lower())
+            yield from self._check_key(module, node, key)
+        for match in _START_TYPE_RE.finditer(text):
+            value = match.group(1)
+            if _HOLE in value:
+                continue
+            if value not in START_TYPES:
+                yield self.finding(
+                    module, node, "rsl-bad-start-type",
+                    f"subjobStartType={value!r} is not one of "
+                    f"{tuple(START_TYPES)}",
+                )
+
+    def _check_relation(self, module: Module, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if name != "Relation" or not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield from self._check_key(module, node, first.value)
+
+    def _check_key(
+        self, module: Module, node: ast.AST, key: str
+    ) -> Iterator[Finding]:
+        if key.lower() in KNOWN_ATTRIBUTES:
+            return
+        close = difflib.get_close_matches(
+            key.lower(), list(KNOWN_ATTRIBUTES), n=1, cutoff=0.6
+        )
+        hint = (
+            f"; did you mean {KNOWN_ATTRIBUTES[close[0]]!r}?" if close else ""
+        )
+        yield self.finding(
+            module, node, "rsl-unknown-attribute",
+            f"unknown RSL attribute {key!r}{hint}",
+        )
+
+
+def _flatten_fstring(node: ast.JoinedStr) -> str:
+    """Literal parts joined with placeholders for interpolations."""
+    parts = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append(_HOLE)
+    return "".join(parts)
+
+
+def _docstring_nodes(tree: ast.Module) -> set[int]:
+    """ids of Constant nodes that are module/class/function docstrings."""
+    out: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out

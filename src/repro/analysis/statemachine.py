@@ -1,0 +1,425 @@
+"""State-machine lints.
+
+The GRAM job lifecycle (``repro/gram/states.py``) and the DUROC subjob
+and request lifecycles (``repro/core/states.py``) declare their legal
+transitions in literal tables.  This checker parses those tables from
+source (never importing them) and cross-checks every call site:
+
+* transitions into a state no table rule can ever enter;
+* statically-known illegal transitions (straight-line code that enters
+  state A and then transitions to a state not in ``TRANSITIONS[A]``);
+* direct ``.state =`` assignments that bypass the checked mutators;
+* declared transition tables that mention undeclared states;
+* states declared reachable by a table that no call site ever enters.
+
+The data-flow tracking is deliberately conservative: the last known
+state of an object is only trusted within straight-line statement
+sequences and is forgotten at every control-flow construct, so the
+checker cannot false-positive on branches or retry loops.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+from repro.analysis.framework import (
+    Checker,
+    Finding,
+    Module,
+    Rule,
+    Severity,
+    dotted_name,
+)
+
+#: Modules whose literal transition tables define the protocol.
+DEFAULT_TABLE_MODULES = ("repro.gram.states", "repro.core.states")
+
+#: Call attributes treated as checked transition applications.
+TRANSITION_ATTRS = ("transition", "_transition")
+
+#: Functions allowed to assign ``.state`` directly (the checked mutators
+#: themselves, constructors, and client-side mirrors of remote state).
+STATE_MUTATORS = frozenset(
+    {"transition", "_transition", "update", "__init__", "__post_init__"}
+)
+
+
+@dataclass
+class StateTable:
+    """One enum's parsed transition table."""
+
+    cls: str
+    path: str
+    members: set[str] = field(default_factory=set)
+    transitions: dict[str, set[str]] = field(default_factory=dict)
+    #: member -> (line, col) of its first occurrence as a destination.
+    dest_sites: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def destinations(self) -> set[str]:
+        out: set[str] = set()
+        for dests in self.transitions.values():
+            out |= dests
+        return out
+
+
+def _enum_members(tree: ast.Module) -> dict[str, set[str]]:
+    """Enum class name -> member names, for every Enum subclass."""
+    out: dict[str, set[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {
+            base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+            for base in node.bases
+        }
+        if not any("Enum" in base for base in bases):
+            continue
+        members = {
+            target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.Assign)
+            for target in stmt.targets
+            if isinstance(target, ast.Name)
+        }
+        if members:
+            out[node.name] = members
+    return out
+
+
+def parse_tables(path: Path) -> list[StateTable]:
+    """Parse every ``{Enum.MEMBER: frozenset({...})}`` table in a file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    enums = _enum_members(tree)
+    tables: list[StateTable] = []
+    for node in tree.body:
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            value = node.value
+        if not isinstance(value, ast.Dict):
+            continue
+        cls = _table_class(value)
+        if cls is None or cls not in enums:
+            continue
+        table = StateTable(cls=cls, path=str(path), members=set(enums[cls]))
+        for key, dests_node in zip(value.keys, value.values):
+            member = _member_of(key, cls)
+            if member is None or dests_node is None:
+                continue
+            dests = table.transitions.setdefault(member, set())
+            for ref in ast.walk(dests_node):
+                dest = _member_of(ref, cls)
+                if dest is not None:
+                    dests.add(dest)
+                    table.dest_sites.setdefault(
+                        dest, (ref.lineno, ref.col_offset)
+                    )
+        if table.transitions:
+            tables.append(table)
+    return tables
+
+
+def _table_class(mapping: ast.Dict) -> Optional[str]:
+    """The enum class every key of the dict belongs to, if uniform."""
+    classes = set()
+    for key in mapping.keys:
+        if (
+            isinstance(key, ast.Attribute)
+            and isinstance(key.value, ast.Name)
+        ):
+            classes.add(key.value.id)
+        else:
+            return None
+    return classes.pop() if len(classes) == 1 else None
+
+
+def _member_of(node: Optional[ast.AST], cls: str) -> Optional[str]:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == cls
+    ):
+        return node.attr
+    return None
+
+
+def default_table_files() -> list[Path]:
+    paths = []
+    for name in DEFAULT_TABLE_MODULES:
+        try:
+            spec = importlib.util.find_spec(name)
+        except (ImportError, ValueError):  # pragma: no cover - broken install
+            continue
+        if spec is not None and spec.origin:
+            paths.append(Path(spec.origin))
+    return paths
+
+
+def _walk_straightline(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an AST without descending into deferred (lambda) bodies."""
+    yield node
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield from _walk_straightline(child)
+
+
+class StateMachineChecker(Checker):
+    """Cross-check transition call sites against the declared tables."""
+
+    name = "state-machine"
+    rules = (
+        Rule("sm-illegal-transition",
+             "transition violates the declared table", Severity.ERROR),
+        Rule("sm-bad-target",
+             "transition targets an undeclared or unenterable state",
+             Severity.ERROR),
+        Rule("sm-direct-assign",
+             ".state assigned directly, bypassing the checked mutator",
+             Severity.ERROR),
+        Rule("sm-bad-table",
+             "transition table mentions an undeclared state", Severity.ERROR),
+        Rule("sm-unreachable-state",
+             "state is declared enterable but no call site ever enters it",
+             Severity.WARNING),
+    )
+
+    def __init__(self, table_files: Optional[Sequence[Path]] = None) -> None:
+        files = (
+            [Path(p) for p in table_files]
+            if table_files is not None
+            else default_table_files()
+        )
+        self.tables: dict[str, StateTable] = {}
+        self._table_errors: list[tuple[str, int, int, str]] = []
+        for path in files:
+            try:
+                parsed = parse_tables(path)
+            except (OSError, SyntaxError):
+                continue
+            for table in parsed:
+                self.tables[table.cls] = table
+                for member in sorted(table.destinations | set(table.transitions)):
+                    if member not in table.members:
+                        line, col = table.dest_sites.get(member, (1, 0))
+                        self._table_errors.append((
+                            table.path, line, col,
+                            f"{table.cls}.{member} appears in the transition "
+                            f"table but is not a declared member",
+                        ))
+        self._table_paths = {
+            str(Path(t.path).resolve()) for t in self.tables.values()
+        }
+        #: Enum class -> members referenced outside the table modules.
+        self._entered: dict[str, set[str]] = {}
+        self._analyzed_paths: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def check(self, module: Module) -> Iterator[Finding]:
+        resolved = str(Path(module.path).resolve())
+        self._analyzed_paths.add(resolved)
+        is_table_module = resolved in self._table_paths
+        findings: list[Finding] = []
+        self._scan_block(module, module.tree.body, {}, None, findings,
+                         record_usage=not is_table_module)
+        yield from findings
+
+    # -- statement scanning -------------------------------------------------
+
+    def _scan_block(
+        self,
+        module: Module,
+        stmts: Sequence[ast.stmt],
+        knowledge: dict[tuple[str, str], str],
+        func_name: Optional[str],
+        findings: list[Finding],
+        record_usage: bool,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_block(module, stmt.body, {}, stmt.name, findings,
+                                 record_usage)
+            elif isinstance(stmt, ast.ClassDef):
+                self._scan_block(module, stmt.body, {}, func_name, findings,
+                                 record_usage)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With, ast.AsyncWith)):
+                for block in self._sub_blocks(stmt):
+                    self._scan_block(module, block, dict(knowledge), func_name,
+                                     findings, record_usage)
+                knowledge.clear()
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                # Loop bodies restart with unknown state: a second
+                # iteration begins wherever the first one ended.
+                for block in self._sub_blocks(stmt):
+                    self._scan_block(module, block, {}, func_name, findings,
+                                     record_usage)
+                knowledge.clear()
+            elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+                for case in stmt.cases:
+                    self._scan_block(module, case.body, dict(knowledge),
+                                     func_name, findings, record_usage)
+                knowledge.clear()
+            else:
+                self._scan_simple(module, stmt, knowledge, func_name, findings,
+                                  record_usage)
+
+    @staticmethod
+    def _sub_blocks(stmt: ast.stmt) -> list[Sequence[ast.stmt]]:
+        blocks: list[Sequence[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if block:
+                blocks.append(block)
+        for handler in getattr(stmt, "handlers", ()):
+            blocks.append(handler.body)
+        return blocks
+
+    def _scan_simple(
+        self,
+        module: Module,
+        stmt: ast.stmt,
+        knowledge: dict[tuple[str, str], str],
+        func_name: Optional[str],
+        findings: list[Finding],
+        record_usage: bool,
+    ) -> None:
+        for node in _walk_straightline(stmt):
+            if isinstance(node, ast.Call):
+                self._visit_call(module, node, knowledge, findings, record_usage)
+            elif isinstance(node, ast.Assign):
+                self._visit_assign(module, node, knowledge, func_name, findings,
+                                   record_usage)
+
+    def _visit_call(
+        self,
+        module: Module,
+        node: ast.Call,
+        knowledge: dict[tuple[str, str], str],
+        findings: list[Finding],
+        record_usage: bool,
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in TRANSITION_ATTRS:
+            return
+        if not node.args:
+            return
+        target = node.args[0]
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)):
+            return
+        cls = target.value.id
+        table = self.tables.get(cls)
+        if table is None:
+            return
+        member = target.attr
+        owner = dotted_name(func.value) or ast.dump(func.value)
+        key = (owner, cls)
+
+        if record_usage:
+            self._entered.setdefault(cls, set()).add(member)
+
+        if member not in table.members:
+            findings.append(self.finding(
+                module, node, "sm-bad-target",
+                f"transition to undeclared state {cls}.{member}",
+            ))
+            knowledge.pop(key, None)
+            return
+        if member not in table.destinations:
+            findings.append(self.finding(
+                module, node, "sm-bad-target",
+                f"no declared transition ever enters {cls}.{member}; "
+                f"it can only be an initial state",
+            ))
+            knowledge.pop(key, None)
+            return
+        current = knowledge.get(key)
+        if current is not None and member not in table.transitions.get(current, set()):
+            findings.append(self.finding(
+                module, node, "sm-illegal-transition",
+                f"illegal transition {cls}.{current} -> {cls}.{member} "
+                f"(allowed from {current}: "
+                f"{sorted(table.transitions.get(current, set())) or 'none'})",
+            ))
+        knowledge[key] = member
+
+    def _visit_assign(
+        self,
+        module: Module,
+        node: ast.Assign,
+        knowledge: dict[tuple[str, str], str],
+        func_name: Optional[str],
+        findings: list[Finding],
+        record_usage: bool,
+    ) -> None:
+        for target in node.targets:
+            if not (isinstance(target, ast.Attribute) and target.attr == "state"):
+                continue
+            owner = dotted_name(target.value) or ast.dump(target.value)
+            value = node.value
+            if (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in self.tables
+            ):
+                cls = value.value.id
+                member = value.attr
+                if record_usage:
+                    self._entered.setdefault(cls, set()).add(member)
+                if func_name not in STATE_MUTATORS:
+                    findings.append(self.finding(
+                        module, node, "sm-direct-assign",
+                        f"direct assignment {owner}.state = {cls}.{member} "
+                        f"bypasses the checked transition mutator",
+                    ))
+                knowledge[(owner, cls)] = member
+            else:
+                # Unknown dynamic value: forget everything we knew.
+                for key in [k for k in knowledge if k[0] == owner]:
+                    knowledge.pop(key, None)
+
+    # -- whole-run findings --------------------------------------------------
+
+    def finalize(self, modules: Sequence[Module]) -> Iterator[Finding]:
+        for path, line, col, message in self._table_errors:
+            if str(Path(path).resolve()) not in self._analyzed_paths:
+                continue
+            yield Finding(
+                file=self._analyzed_name(modules, path), line=line, col=col + 1,
+                rule="sm-bad-table", severity=Severity.ERROR, message=message,
+            )
+        for table in self.tables.values():
+            resolved = str(Path(table.path).resolve())
+            if resolved not in self._analyzed_paths:
+                continue
+            entered = self._entered.get(table.cls, set())
+            # Undeclared members are already sm-bad-table errors.
+            declared_dests = table.destinations & table.members
+            for member in sorted(declared_dests - entered):
+                line, col = table.dest_sites.get(member, (1, 0))
+                yield Finding(
+                    file=self._analyzed_name(modules, table.path),
+                    line=line,
+                    col=col + 1,
+                    rule="sm-unreachable-state",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{table.cls}.{member} is declared enterable but no "
+                        f"analyzed call site ever transitions into it"
+                    ),
+                )
+
+    @staticmethod
+    def _analyzed_name(modules: Sequence[Module], path: str) -> str:
+        resolved = str(Path(path).resolve())
+        for module in modules:
+            if str(Path(module.path).resolve()) == resolved:
+                return module.path
+        return path

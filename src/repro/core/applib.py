@@ -76,7 +76,7 @@ def make_program(
     body: Optional[Body] = None,
     startup_ok: Optional[Callable[[ProcessContext], tuple[bool, Optional[str]]]] = None,
     runtime: float = 0.0,
-):
+) -> Callable[[ProcessContext], Generator]:
     """Build a DUROC-aware program callable.
 
     ``startup`` seconds of initialization are scaled by the machine's

@@ -17,7 +17,7 @@ barrier function is shared: :func:`repro.core.applib.barrier`).
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.core.coallocator import Duroc, DurocJob, DurocResult
 from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
@@ -26,6 +26,10 @@ from repro.gsi.auth import AuthConfig
 from repro.gsi.credentials import Credential
 from repro.net.network import Network
 from repro.simcore.tracing import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.environment import Environment
+    from repro.simcore.events import Event
 
 
 class Grab:
@@ -52,10 +56,12 @@ class Grab:
         )
 
     @property
-    def env(self):
+    def env(self) -> "Environment":
         return self._duroc.env
 
-    def allocate(self, request: CoAllocationRequest):
+    def allocate(
+        self, request: CoAllocationRequest
+    ) -> "Generator[Event, Any, DurocResult]":
         """Generator: the atomic allocation function.
 
         Returns a :class:`DurocResult` if *every* subjob started, or

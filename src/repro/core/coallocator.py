@@ -28,10 +28,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
 from repro.core.barrier import CHECKIN, ABORT, BarrierManager, Checkin
-from repro.core.callbacks import CallbackDispatcher, DurocEvent, Notification
+from repro.core.callbacks import CallbackDispatcher, DurocEvent, Handler, Notification
 from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
 from repro.core.states import (
     RequestState,
@@ -55,6 +55,8 @@ from repro.gsi.credentials import Credential
 from repro.net.network import Network
 from repro.net.address import Endpoint
 from repro.net.transport import Port, ephemeral_endpoint
+from repro.simcore.events import Event
+from repro.simcore.process import ProcessGenerator
 from repro.simcore.resources import Store
 from repro.simcore.tracing import Tracer
 
@@ -145,7 +147,7 @@ class DurocJob:
         self.slots: list[SubjobSlot] = []
         self._slot_by_id: dict[int, SubjobSlot] = {}
         self._submit_queue: Store = Store(self.env)
-        self._waiters: list = []
+        self._waiters: list[Event] = []
 
         self._gram_listener = CallbackListener(duroc.network, duroc.host)
         self._listener = self.env.process(
@@ -209,7 +211,7 @@ class DurocJob:
     # Monitoring (§3.4)
     # ------------------------------------------------------------------
 
-    def on(self, event: Optional[DurocEvent], handler) -> None:
+    def on(self, event: Optional[DurocEvent], handler: Handler) -> None:
         """Register a monitoring callback (None = every event)."""
         self.callbacks.on(event, handler)
 
@@ -230,7 +232,9 @@ class DurocJob:
     # Agent-side blocking operations
     # ------------------------------------------------------------------
 
-    def wait(self, predicate):
+    def wait(
+        self, predicate: Callable[["DurocJob"], Any]
+    ) -> Generator[Event, Any, Any]:
         """Generator: block until ``predicate(self)`` or a terminal state.
 
         Returns the predicate's truthy value, or raises
@@ -246,7 +250,7 @@ class DurocJob:
             self._waiters.append(event)
             yield event
 
-    def commit(self):
+    def commit(self) -> Generator[Event, Any, DurocResult]:
         """Generator: the commit operation of the two-phase protocol.
 
         Blocks until every live non-optional subjob has checked in, then
@@ -313,7 +317,7 @@ class DurocJob:
             and slot.spec.start_type is SubjobType.OPTIONAL
         ]
 
-    def wait_done(self):
+    def wait_done(self) -> Generator[Event, Any, None]:
         """Generator: block until every released subjob's job finished."""
         if self.state is not RequestState.RELEASED:
             raise RequestStateError(f"cannot wait_done in state {self.state.value}")
@@ -356,7 +360,9 @@ class DurocJob:
         check_request_transition(self.state, new)
         self.state = new
 
-    def _emit(self, event: DurocEvent, slot: Optional[SubjobSlot], detail) -> None:
+    def _emit(
+        self, event: DurocEvent, slot: Optional[SubjobSlot], detail: Any
+    ) -> None:
         self.callbacks.emit(
             Notification(
                 event=event,
@@ -373,7 +379,7 @@ class DurocJob:
 
     # -- submission driver ---------------------------------------------------
 
-    def _drive(self):
+    def _drive(self) -> ProcessGenerator:
         """Submit queued slots to GRAM.
 
         The paper's DUROC submits subjob requests strictly one at a
@@ -397,7 +403,7 @@ class DurocJob:
                     name=f"{self.job_id}:submit{slot.index}",
                 )
 
-    def _submit_slot(self, slot: SubjobSlot):
+    def _submit_slot(self, slot: SubjobSlot) -> ProcessGenerator:
         """Run one slot's GRAM submission to completion."""
         env = self.env
         slot.transition(SubjobState.SUBMITTING, env.now)
@@ -442,7 +448,7 @@ class DurocJob:
         self._emit(DurocEvent.SUBJOB_SUBMITTED, slot, handle.job_id)
         self._kick()
 
-    def _watchdog(self, slot: SubjobSlot):
+    def _watchdog(self, slot: SubjobSlot) -> ProcessGenerator:
         """Enforce the subjob's check-in deadline.
 
         The deadline timer is retired (cancelled) as soon as the slot
@@ -474,7 +480,7 @@ class DurocJob:
                 DurocEvent.SUBJOB_TIMEOUT,
             )
 
-    def _heartbeat(self):
+    def _heartbeat(self) -> ProcessGenerator:
         """Poll job managers to detect silent site deaths.
 
         A crashed machine takes its job manager with it, so no FAILED
@@ -515,7 +521,7 @@ class DurocJob:
 
     # -- barrier listener -------------------------------------------------------
 
-    def _listen(self):
+    def _listen(self) -> ProcessGenerator:
         """Receive process check-ins."""
         while True:
             message = yield self.port.recv_kind(CHECKIN)
@@ -565,8 +571,15 @@ class DurocJob:
 
     # -- GRAM state callbacks ---------------------------------------------------
 
-    def _on_gram(self, slot: SubjobSlot, state: JobState, reason) -> None:
+    def _on_gram(
+        self, slot: SubjobSlot, state: JobState, reason: Optional[str]
+    ) -> None:
         slot.gram_state = state
+        if state.terminal and slot.gram_handle is not None:
+            # A terminal GRAM job never transitions again: drop the
+            # per-job handler so long-lived co-allocators do not
+            # accumulate one listener entry per finished subjob.
+            self._gram_listener.off(slot.gram_handle.job_id)
         if state is JobState.FAILED and slot.state in (
             SubjobState.SUBMITTED,
             SubjobState.CHECKED_IN,
@@ -627,7 +640,7 @@ class DurocJob:
             self._cancel_gram_async(slot.gram_handle)
 
     def _cancel_gram_async(self, handle: JobHandle) -> None:
-        def canceller(env):
+        def canceller(env: "Environment") -> ProcessGenerator:
             try:
                 yield from self.duroc.gram.cancel(handle, timeout=30.0)
             except (RPCTimeout, GramError, HostDown):
@@ -732,7 +745,9 @@ class Duroc:
         self.jobs.append(job)
         return job
 
-    def run(self, request: CoAllocationRequest):
+    def run(
+        self, request: CoAllocationRequest
+    ) -> Generator[Event, Any, DurocResult]:
         """Generator: submit and immediately commit (convenience)."""
         job = self.submit(request)
         result = yield from job.commit()

@@ -80,6 +80,29 @@ class CallbackListener:
         """Register ``handler(job_id, state, reason)``; None = catch-all."""
         self._handlers.setdefault(job_id, []).append(handler)
 
+    def off(
+        self,
+        job_id: Optional[str],
+        handler: Optional[Callable[[str, JobState, Any], None]] = None,
+    ) -> None:
+        """Unregister handler(s) for ``job_id`` (idempotent).
+
+        With ``handler=None`` every handler under that key is removed.
+        Long-lived listeners (one DUROC serves many jobs) must drop
+        per-job handlers once the job is terminal or they accumulate
+        forever.
+        """
+        if handler is None:
+            self._handlers.pop(job_id, None)
+            return
+        handlers = self._handlers.get(job_id)
+        if handlers is None:
+            return
+        if handler in handlers:
+            handlers.remove(handler)
+        if not handlers:
+            self._handlers.pop(job_id, None)
+
     def _listen(self):
         while True:
             message = yield self.port.recv_kind(CALLBACK)

@@ -32,7 +32,9 @@ TRANSITIONS: dict[JobState, frozenset[JobState]] = {
     JobState.UNSUBMITTED: frozenset({JobState.PENDING, JobState.FAILED}),
     JobState.PENDING: frozenset({JobState.ACTIVE, JobState.FAILED}),
     JobState.ACTIVE: frozenset(
-        {JobState.SUSPENDED, JobState.DONE, JobState.FAILED}
+        # SUSPENDED is modelled for completeness (preempting local
+        # schedulers); no simulated scheduler preempts yet.
+        {JobState.SUSPENDED, JobState.DONE, JobState.FAILED}  # repro: noqa sm-unreachable-state
     ),
     JobState.SUSPENDED: frozenset({JobState.ACTIVE, JobState.FAILED}),
     JobState.DONE: frozenset(),

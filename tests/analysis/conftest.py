@@ -1,0 +1,42 @@
+"""Shared helpers: run one checker over an inline source snippet."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.framework import Analyzer, Checker, Finding
+
+
+@pytest.fixture
+def run_checker(tmp_path):
+    """``run(checker, source, filename=...) -> list[Finding]``."""
+
+    def run(
+        checker: Checker, source: str, filename: str = "snippet.py"
+    ) -> list[Finding]:
+        path = tmp_path / filename
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return Analyzer([checker]).run([str(path)]).findings
+
+    return run
+
+
+@pytest.fixture
+def write_file(tmp_path):
+    """``write(relpath, source) -> Path`` with dedent."""
+
+    def write(relpath: str, source: str) -> Path:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    return write
+
+
+def rules_of(findings: list[Finding]) -> set[str]:
+    return {f.rule for f in findings}

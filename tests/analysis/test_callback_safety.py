@@ -1,0 +1,124 @@
+"""Callback-safety rules: blocking handlers, generator handlers, leaks."""
+
+from __future__ import annotations
+
+from repro.analysis.callback_safety import CallbackSafetyChecker
+
+from tests.analysis.conftest import rules_of
+
+
+def test_blocking_handler_flagged(run_checker):
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        def handler(note):
+            env.run()
+
+        job.on(None, handler)
+        """,
+    )
+    assert rules_of(findings) == {"cb-blocking"}
+    assert "env.run" in findings[0].message
+
+
+def test_transitively_blocking_handler_flagged(run_checker):
+    """Blocking two calls deep, through a same-module helper."""
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        class Monitor:
+            def _drain(self):
+                self.env.run()
+
+            def _on_note(self, note):
+                self._drain()
+
+            def attach(self, job):
+                job.on(None, self._on_note)
+        """,
+    )
+    assert rules_of(findings) == {"cb-blocking"}
+    assert "_drain" in findings[0].message
+
+
+def test_generator_handler_flagged(run_checker):
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        def handler(note):
+            yield note
+
+        job.on(None, handler)
+        """,
+    )
+    assert rules_of(findings) == {"cb-generator-handler"}
+
+
+def test_blocking_lambda_flagged(run_checker):
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        listener.set_interactive_handler(lambda req: barrier.wait())
+        """,
+    )
+    # Lambda blocks AND listener-keyed `on` is absent, so only cb-blocking.
+    assert rules_of(findings) == {"cb-blocking"}
+
+
+def test_plain_handler_clean(run_checker):
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        def handler(note):
+            log.append((note.event, note.detail))
+            env.process(follow_up())
+
+        def follow_up():
+            yield env.timeout(1.0)
+
+        job.on(None, handler)
+        """,
+    )
+    assert findings == []
+
+
+def test_per_job_registration_without_off_flagged(run_checker):
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        def handler(job_id, state, ts):
+            pass
+
+        listener.on(handle.job_id, handler)
+        """,
+    )
+    assert rules_of(findings) == {"cb-no-unregister"}
+
+
+def test_per_job_registration_with_off_clean(run_checker):
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        def handler(job_id, state, ts):
+            pass
+
+        listener.on(handle.job_id, handler)
+        listener.off(handle.job_id)
+        """,
+    )
+    assert findings == []
+
+
+def test_enum_key_registration_clean(run_checker):
+    """Event-keyed registrations live as long as the job; no leak."""
+    findings = run_checker(
+        CallbackSafetyChecker(),
+        """
+        def handler(note):
+            pass
+
+        job.callbacks.on(DurocEvent.SUBJOB_STATE, handler)
+        job.on(None, handler)
+        """,
+    )
+    assert findings == []

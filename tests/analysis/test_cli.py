@@ -1,0 +1,80 @@
+"""End-to-end CLI runs: the repaired tree is clean, violations exit 1."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def run_cli(*argv: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd, env=env, capture_output=True, text=True,
+    )
+
+
+def test_repaired_source_tree_is_clean():
+    proc = run_cli(str(REPO_ROOT / "src" / "repro"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_violation_exits_nonzero(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    proc = run_cli(str(bad))
+    assert proc.returncode == 1
+    assert "det-stdlib-random" in proc.stdout
+
+
+def test_json_format_parses(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nwall = time.time()\n")
+    proc = run_cli(str(bad), "--format", "json")
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 1
+    assert [f["rule"] for f in payload["findings"]] == ["det-wallclock"]
+
+
+def test_select_filters_rules(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import random
+
+            SPEC = "&(cuont=4)"
+            """
+        )
+    )
+    # Full run sees both families; rsl-only run sees one.
+    assert main([str(bad)]) == 1
+    assert main([str(bad), "--select", "rsl"]) == 1
+    assert main([str(bad), "--select", "sm,cb"]) == 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in (
+        "det-wallclock", "sm-illegal-transition", "cb-blocking",
+        "rsl-unknown-attribute",
+    ):
+        assert rule in out
+
+
+def test_main_inprocess_clean_on_examples(capsys):
+    """The rsl family also holds on examples/ (CI runs this)."""
+    assert main([str(REPO_ROOT / "examples"), "--select", "rsl"]) == 0

@@ -1,0 +1,100 @@
+"""Determinism rules: wall clocks, global RNGs, threads."""
+
+from __future__ import annotations
+
+from repro.analysis.determinism import DeterminismChecker
+
+from tests.analysis.conftest import rules_of
+
+
+def test_wallclock_calls_flagged(run_checker):
+    findings = run_checker(
+        DeterminismChecker(),
+        """
+        import time, os
+
+        def stamp():
+            return time.time(), os.urandom(8)
+        """,
+    )
+    assert rules_of(findings) == {"det-wallclock"}
+    assert len(findings) == 2
+
+
+def test_wallclock_from_imports_flagged(run_checker):
+    findings = run_checker(
+        DeterminismChecker(),
+        """
+        from time import perf_counter
+        from datetime import datetime
+        """,
+    )
+    assert rules_of(findings) == {"det-wallclock"}
+    assert len(findings) == 2
+
+
+def test_stdlib_random_import_flagged(run_checker):
+    findings = run_checker(DeterminismChecker(), "import random\n")
+    assert rules_of(findings) == {"det-stdlib-random"}
+    findings = run_checker(DeterminismChecker(), "from random import choice\n")
+    assert rules_of(findings) == {"det-stdlib-random"}
+
+
+def test_threading_imports_flagged(run_checker):
+    findings = run_checker(
+        DeterminismChecker(),
+        """
+        import threading
+        from multiprocessing import Pool
+        """,
+    )
+    assert rules_of(findings) == {"det-threads"}
+    assert len(findings) == 2
+
+
+def test_unseeded_default_rng_flagged(run_checker):
+    findings = run_checker(
+        DeterminismChecker(),
+        """
+        import numpy as np
+
+        gen = np.random.default_rng()
+        draw = np.random.normal(0.0, 1.0)
+        np.random.seed(7)
+        """,
+    )
+    assert rules_of(findings) == {"det-global-numpy"}
+    assert len(findings) == 3
+
+
+def test_seeded_rng_and_injected_streams_clean(run_checker):
+    findings = run_checker(
+        DeterminismChecker(),
+        """
+        import numpy as np
+
+        def jitter(rng: np.random.Generator, mean: float) -> float:
+            return float(rng.gamma(2.0, mean / 2.0))
+
+        gen = np.random.default_rng(np.random.SeedSequence([1, 2]))
+        now = env.now
+        """,
+    )
+    assert findings == []
+
+
+def test_rng_module_is_exempt(run_checker):
+    findings = run_checker(
+        DeterminismChecker(),
+        "import numpy as np\ngen = np.random.default_rng()\n",
+        filename="repro/simcore/rng.py",
+    )
+    assert findings == []
+
+
+def test_suppression_comment(run_checker):
+    findings = run_checker(
+        DeterminismChecker(),
+        "import time\nwall = time.time()  # repro: noqa det-wallclock\n",
+    )
+    assert findings == []

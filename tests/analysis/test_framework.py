@@ -1,0 +1,110 @@
+"""Framework mechanics: suppression, selection, discovery, parse errors."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.framework import (
+    PARSE_ERROR,
+    Analyzer,
+    Checker,
+    Finding,
+    Module,
+    Rule,
+    Severity,
+    dotted_name,
+    is_suppressed,
+    iter_python_files,
+    suppressed_rules,
+)
+
+
+class PrintChecker(Checker):
+    """Toy checker: flags every call to print()."""
+
+    name = "toy"
+    rules = (Rule("toy-print", "no print", Severity.ERROR),)
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(module, node, "toy-print", "print call")
+
+
+def test_suppressed_rules_parsing():
+    assert suppressed_rules("x = 1") is None
+    assert suppressed_rules("x = 1  # repro: noqa") == set()
+    assert suppressed_rules("x = 1  # repro: noqa toy-print") == {"toy-print"}
+    assert suppressed_rules("y  # repro: noqa a-b, c-d") == {"a-b", "c-d"}
+
+
+def test_line_suppression(tmp_path):
+    path = tmp_path / "s.py"
+    path.write_text(
+        "print(1)\n"
+        "print(2)  # repro: noqa toy-print\n"
+        "print(3)  # repro: noqa\n"
+        "print(4)  # repro: noqa other-rule\n"
+    )
+    report = Analyzer([PrintChecker()]).run([str(path)])
+    assert [f.line for f in report.findings] == [1, 4]
+    assert report.suppressed == 2
+
+
+def test_is_suppressed_out_of_range():
+    finding = Finding("f.py", 99, 1, "toy-print", Severity.ERROR, "m")
+    assert not is_suppressed(finding, ["print(1)"])
+
+
+def test_select_by_rule_family_and_checker_name(tmp_path):
+    path = tmp_path / "s.py"
+    path.write_text("print(1)\n")
+    for select, expected in [
+        (["toy-print"], 1),
+        (["toy"], 1),          # family prefix == checker name here
+        (["det"], 0),
+        (None, 1),
+    ]:
+        report = Analyzer([PrintChecker()], select=select).run([str(path)])
+        assert len(report.findings) == expected, select
+
+
+def test_iter_python_files_skips_caches(tmp_path):
+    (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+    (tmp_path / "pkg" / "a.py").write_text("")
+    (tmp_path / "pkg" / "__pycache__" / "b.py").write_text("")
+    (tmp_path / "pkg" / ".hidden").mkdir()
+    (tmp_path / "pkg" / ".hidden" / "c.py").write_text("")
+    (tmp_path / "notes.txt").write_text("")
+    files = iter_python_files([str(tmp_path)])
+    assert [f.name for f in files] == ["a.py"]
+    # Direct file mention works too.
+    assert iter_python_files([str(tmp_path / "pkg" / "a.py")]) == [
+        Path(tmp_path / "pkg" / "a.py")
+    ]
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    path = tmp_path / "broken.py"
+    path.write_text("def f(:\n")
+    report = Analyzer([PrintChecker()]).run([str(path)])
+    assert len(report.findings) == 1
+    assert report.findings[0].rule == PARSE_ERROR
+    assert not report.clean
+
+
+def test_dotted_name():
+    expr = ast.parse("a.b.c()", mode="eval").body
+    assert dotted_name(expr.func) == "a.b.c"
+    subscript = ast.parse("a[0].b()", mode="eval").body
+    assert dotted_name(subscript.func) is None
+
+
+def test_module_lines_split():
+    module = Module(path="x.py", tree=ast.parse("a = 1\nb = 2\n"), source="a = 1\nb = 2\n")
+    assert module.lines == ["a = 1", "b = 2"]

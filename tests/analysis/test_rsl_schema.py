@@ -1,0 +1,112 @@
+"""RSL schema rules: unknown attribute keys and bad start types."""
+
+from __future__ import annotations
+
+from repro.analysis.rsl_schema import RslSchemaChecker, looks_like_rsl
+
+from tests.analysis.conftest import rules_of
+
+
+def test_looks_like_rsl_heuristic():
+    assert looks_like_rsl('+( &(executable=/bin/app) )')
+    assert looks_like_rsl('&(count=4)(maxTime=10)')
+    assert not looks_like_rsl('plain prose (even=with) parens')
+    assert not looks_like_rsl('path/to/file')
+    assert not looks_like_rsl('(no key value pairs here)')
+
+
+def test_key_typo_caught_with_hint(run_checker):
+    """The acceptance fixture: a typo'd RSL key is caught at lint time."""
+    findings = run_checker(
+        RslSchemaChecker(),
+        """
+        SPEC = "+( &(resourceManagerContract=site-a)(count=4) )"
+        """,
+    )
+    assert rules_of(findings) == {"rsl-unknown-attribute"}
+    assert "resourceManagerContract" in findings[0].message
+    assert "resourceManagerContact" in findings[0].message  # did-you-mean
+
+
+def test_known_keys_clean(run_checker):
+    findings = run_checker(
+        RslSchemaChecker(),
+        """
+        SPEC = (
+            "+( &(resourceManagerContact=site-a)(count=4)"
+            "(subjobStartType=required)(maxTime=60) )"
+        )
+        """,
+    )
+    assert findings == []
+
+
+def test_fstring_literal_parts_checked(run_checker):
+    findings = run_checker(
+        RslSchemaChecker(),
+        """
+        def spec(site, n):
+            return f"+( &(resourceManagerContact={site})(cuont={n}) )"
+        """,
+    )
+    assert rules_of(findings) == {"rsl-unknown-attribute"}
+    assert "'cuont'" in findings[0].message
+
+
+def test_fstring_interpolated_key_skipped(run_checker):
+    """A key spanning an interpolation hole cannot be validated."""
+    findings = run_checker(
+        RslSchemaChecker(),
+        """
+        def spec(attr, value):
+            return f"+( &({attr}={value})(count=2) )"
+        """,
+    )
+    assert findings == []
+
+
+def test_bad_start_type_caught(run_checker):
+    findings = run_checker(
+        RslSchemaChecker(),
+        """
+        SPEC = "+( &(count=2)(subjobStartType=mandatory) )"
+        """,
+    )
+    assert rules_of(findings) == {"rsl-bad-start-type"}
+    assert "mandatory" in findings[0].message
+
+
+def test_relation_literal_key_checked(run_checker):
+    findings = run_checker(
+        RslSchemaChecker(),
+        """
+        good = Relation("count", "=", 4)
+        bad = Relation("cout", "=", 4)
+        """,
+    )
+    assert rules_of(findings) == {"rsl-unknown-attribute"}
+    assert len(findings) == 1
+
+
+def test_docstrings_and_prose_skipped(run_checker):
+    findings = run_checker(
+        RslSchemaChecker(),
+        '''
+        """Module docstring mentioning +( &(madeUpKey=1) ) forms."""
+
+        def parse(text):
+            """Parses +( &(anotherFakeKey=2) ) style specs."""
+            return text
+        ''',
+    )
+    assert findings == []
+
+
+def test_suppression(run_checker):
+    findings = run_checker(
+        RslSchemaChecker(),
+        """
+        SPEC = "&(legacyKey=1)(count=2)"  # repro: noqa rsl-unknown-attribute
+        """,
+    )
+    assert findings == []
