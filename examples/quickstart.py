@@ -9,11 +9,20 @@ This is the paper's Figure 1 example end to end:
   the two-phase-commit barrier.
 
 Run:  python examples/quickstart.py
+
+Besides the console narration, the run exports its trace and metrics to
+``results/quickstart_trace.jsonl`` / ``results/quickstart_metrics.json``
+for inspection with ``python -m repro.obs``.
 """
+
+from pathlib import Path
 
 from repro.core import CoAllocationRequest, DurocEvent, make_program
 from repro.gridenv import GridBuilder
+from repro.obs.export import write_jsonl, write_metrics
 from repro.rsl import pretty
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
 
 
 def body(ctx, port, config):
@@ -84,6 +93,14 @@ def main() -> None:
     checkins = job.callbacks.events(DurocEvent.SUBJOB_CHECKIN)
     print(f"\n{len(checkins)} subjobs checked into the barrier; "
           f"request ended in state {job.state.value!r}")
+
+    # 5. Export the trace and metrics for ``python -m repro.obs``.
+    trace_path = write_jsonl(grid.tracer, RESULTS / "quickstart_trace.jsonl")
+    metrics_path = write_metrics(
+        grid.tracer.metrics.snapshot(), RESULTS / "quickstart_metrics.json"
+    )
+    print(f"Trace written to {trace_path}")
+    print(f"Metrics written to {metrics_path}")
 
 
 if __name__ == "__main__":

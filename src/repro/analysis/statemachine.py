@@ -36,7 +36,11 @@ from repro.analysis.framework import (
 )
 
 #: Modules whose literal transition tables define the protocol.
-DEFAULT_TABLE_MODULES = ("repro.gram.states", "repro.core.states")
+DEFAULT_TABLE_MODULES = (
+    "repro.gram.states",
+    "repro.core.states",
+    "repro.schedulers.states",
+)
 
 #: Call attributes treated as checked transition applications.
 TRANSITION_ATTRS = ("transition", "_transition")

@@ -22,6 +22,7 @@ from repro.core.config import DurocConfig
 from repro.errors import CoAllocationError, StopProcess
 from repro.machine.host import ProcessContext
 from repro.net.transport import Port
+from repro.simcore.tracing import OBS_CONTEXT_PARAM, TraceContext
 
 #: Context parameter keys injected by the DUROC co-allocator at submit.
 PARAM_CONTACT = "duroc.contact"
@@ -33,6 +34,7 @@ def barrier(
     port: Port,
     ok: bool = True,
     reason: Optional[str] = None,
+    trace: Optional[TraceContext] = None,
 ) -> Generator:
     """Check in to the co-allocation barrier and wait for the verdict.
 
@@ -40,7 +42,8 @@ def barrier(
     Raises :class:`~repro.errors.StopProcess` if the co-allocation is
     aborted (the process "may not return from the barrier"), and also
     when ``ok=False`` was reported (a process that failed startup never
-    proceeds).
+    proceeds).  ``trace`` rides on the check-in message so the
+    co-allocator can tie its barrier accounting into the trace tree.
     """
     if PARAM_CONTACT not in ctx.params:
         raise CoAllocationError(
@@ -58,6 +61,7 @@ def barrier(
             "reason": reason,
             "endpoint": port.endpoint,
         },
+        ctx=trace,
     )
     message = yield port.recv(filter=lambda m: m.kind in (RELEASE, ABORT))
     if message.kind == ABORT:
@@ -89,11 +93,21 @@ def make_program(
 
     def program(ctx: ProcessContext) -> Generator:
         port = ctx.port("duroc")
+        span = ctx.tracer.span(
+            "app.startup",
+            parent=ctx.params.get(OBS_CONTEXT_PARAM),
+            rank=ctx.rank,
+            executable=ctx.executable,
+            site=ctx.machine.name,
+        )
         if startup > 0:
             yield ctx.env.timeout(ctx.machine.startup_delay(startup))
         ok, reason = (True, None) if startup_ok is None else startup_ok(ctx)
+        span.finish(ok=ok)
         if PARAM_CONTACT in ctx.params:
-            config = yield from barrier(ctx, port, ok=ok, reason=reason)
+            config = yield from barrier(
+                ctx, port, ok=ok, reason=reason, trace=span.context
+            )
         else:
             # Started by plain GRAM (no co-allocator): run standalone.
             config = None

@@ -21,6 +21,7 @@ from repro.core.config import DurocConfig
 from repro.errors import HostDown
 from repro.net.address import Endpoint
 from repro.net.transport import Port
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -78,9 +79,15 @@ class BarrierTable:
 class BarrierManager:
     """Release/abort fan-out and configuration assembly."""
 
-    def __init__(self, env: "Environment", port: Port) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        port: Port,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.env = env
         self.port = port
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tables: dict[int, BarrierTable] = {}
         #: (slot_id, rank) -> release time, for barrier-wait statistics.
         self.release_times: dict[tuple[int, int], float] = {}
@@ -98,7 +105,8 @@ class BarrierManager:
         table = self.tables.get(checkin.slot_id)
         if table is None:
             return None
-        table.record(checkin)
+        if table.record(checkin):
+            self.metrics.gauge("duroc.barrier_waiting").inc()
         return table
 
     # -- fan-out ------------------------------------------------------------
@@ -133,6 +141,10 @@ class BarrierManager:
             payload = dict(base, my_rank=rank)
             self._send(checkin.endpoint, RELEASE, payload)
             self.release_times[(slot_id, rank)] = self.env.now
+            self.metrics.gauge("duroc.barrier_waiting").dec()
+            self.metrics.histogram("duroc.barrier_wait_seconds").observe(
+                self.env.now - checkin.time
+            )
             released += 1
         return released
 
@@ -146,6 +158,7 @@ class BarrierManager:
             if (table.slot_id, checkin.rank) in self.release_times:
                 continue  # already released; kill goes via GRAM cancel
             self._send(checkin.endpoint, ABORT, {"reason": reason})
+            self.metrics.gauge("duroc.barrier_waiting").dec()
             aborted += 1
         return aborted
 

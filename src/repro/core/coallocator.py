@@ -58,7 +58,7 @@ from repro.net.transport import Port, ephemeral_endpoint
 from repro.simcore.events import Event
 from repro.simcore.process import ProcessGenerator
 from repro.simcore.resources import Store
-from repro.simcore.tracing import Tracer
+from repro.simcore.tracing import NULL_TRACER, TraceContext, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -86,6 +86,8 @@ class SubjobSlot:
         self.failure_reason: Optional[str] = None
         self.gram_handle: Optional[JobHandle] = None
         self.gram_state: Optional[JobState] = None
+        #: Context of this slot's ``duroc.submit`` span, once opened.
+        self.trace_ctx: Optional[TraceContext] = None
 
     def transition(self, new: SubjobState, now: float) -> None:
         check_subjob_transition(self.state, new)
@@ -136,7 +138,14 @@ class DurocJob:
         self.port = Port(
             duroc.network, ephemeral_endpoint(duroc.host, f"duroc.{self.job_id}")
         )
-        self.barrier = BarrierManager(self.env, self.port)
+        self.tracer = duroc.tracer
+        self.metrics = self.tracer.metrics
+        #: Root span of the request's trace tree: everything this
+        #: co-allocation causes hangs off it.
+        self.trace_span = self.tracer.span("duroc.request", job=self.job_id)
+        self.trace_ctx = self.trace_span.context
+        self._trace_finished = False
+        self.barrier = BarrierManager(self.env, self.port, metrics=self.metrics)
         self.callbacks = CallbackDispatcher()
         self.interactive_handler: Optional[InteractiveHandler] = None
         self.state = RequestState.ALLOCATING
@@ -264,8 +273,7 @@ class DurocJob:
             raise RequestStateError(f"cannot commit in state {self.state.value}")
         self._transition(RequestState.COMMITTING)
         self._emit(DurocEvent.REQUEST_COMMITTED, None, None)
-        if self.duroc.tracer is not None:
-            self.duroc.tracer.mark("duroc.commit", job=self.job_id)
+        self.tracer.mark("duroc.commit", parent=self.trace_ctx, job=self.job_id)
 
         def settled(job: "DurocJob") -> bool:
             if job._blocking_slots():
@@ -350,6 +358,7 @@ class DurocJob:
         self._transition(RequestState.TERMINATED)
         self._teardown(reason)
         self._emit(DurocEvent.REQUEST_ABORTED, None, reason)
+        self._finish_trace("killed")
         self._kick()
 
     # ------------------------------------------------------------------
@@ -359,6 +368,14 @@ class DurocJob:
     def _transition(self, new: RequestState) -> None:
         check_request_transition(self.state, new)
         self.state = new
+
+    def _finish_trace(self, outcome: str) -> None:
+        """Close the root span with the request's outcome (first wins)."""
+        if self._trace_finished:
+            return
+        self._trace_finished = True
+        self.trace_span.finish(outcome=outcome)
+        self.metrics.counter("duroc.requests_total").inc(outcome=outcome)
 
     def _emit(
         self, event: DurocEvent, slot: Optional[SubjobSlot], detail: Any
@@ -408,7 +425,11 @@ class DurocJob:
         env = self.env
         slot.transition(SubjobState.SUBMITTING, env.now)
         env.process(self._watchdog(slot), name=f"{self.job_id}:watch{slot.index}")
-        t0 = env.now
+        span = self.tracer.span(
+            "duroc.submit", parent=self.trace_ctx,
+            job=self.job_id, slot=slot.index,
+        )
+        slot.trace_ctx = span.context
         try:
             handle = yield from self.duroc.gram.submit(
                 slot.spec.contact,
@@ -419,22 +440,14 @@ class DurocJob:
                     PARAM_SLOT: slot.slot_id,
                 },
                 timeout=self.duroc.submit_timeout,
+                ctx=span.context,
             )
         except (GramError, RPCTimeout, AuthenticationError, HostDown) as exc:
-            if self.duroc.tracer is not None:
-                self.duroc.tracer.record(
-                    "duroc.submit", t0, env.now,
-                    job=self.job_id, slot=slot.index, ok=False,
-                )
+            span.finish(ok=False)
             if slot.state is SubjobState.SUBMITTING:
                 self._slot_failed(slot, str(exc), DurocEvent.SUBJOB_FAILED)
             return
-        if self.duroc.tracer is not None:
-            self.duroc.tracer.record(
-                "duroc.submit", t0, env.now,
-                job=self.job_id, slot=slot.index, ok=True,
-                site=slot.spec.contact,
-            )
+        span.finish(ok=True, site=slot.spec.contact)
         if slot.state is not SubjobState.SUBMITTING:
             # Deleted (or the whole request aborted) mid-submission.
             self._cancel_gram_async(handle)
@@ -543,6 +556,14 @@ class DurocJob:
             if self.state.terminal:
                 self._send_abort(checkin.endpoint, self.abort_reason or "aborted")
                 continue
+            self.tracer.mark(
+                "duroc.checkin",
+                parent=message.trace_ctx,
+                job=self.job_id,
+                slot=slot.index,
+                rank=checkin.rank,
+                ok=checkin.ok,
+            )
             table = self.barrier.record(checkin)
             if table is None:  # pragma: no cover - table exists for live slots
                 continue
@@ -661,6 +682,7 @@ class DurocJob:
         self._transition(RequestState.ABORTED)
         self._teardown(reason)
         self._emit(DurocEvent.REQUEST_ABORTED, None, reason)
+        self._finish_trace("aborted")
         self._kick()
 
     def _teardown(self, reason: str) -> None:
@@ -677,22 +699,35 @@ class DurocJob:
         slot_ids = [slot.slot_id for slot in ready]
         configs = self.barrier.build_config(slot_ids)
         for slot in ready:
+            self._record_barrier_span(slot)
             self.barrier.release_slot(slot.slot_id, configs[slot.slot_id])
             slot.transition(SubjobState.RELEASED, self.env.now)
             self._emit(DurocEvent.SUBJOB_RELEASED, slot, None)
         self._transition(RequestState.RELEASED)
         self.released_at = self.env.now
         self._emit(DurocEvent.REQUEST_RELEASED, None, None)
-        if self.duroc.tracer is not None:
-            self.duroc.tracer.mark("duroc.release", job=self.job_id)
+        self.tracer.mark("duroc.release", parent=self.trace_ctx, job=self.job_id)
+        self._finish_trace("released")
         self._kick()
         return ready
+
+    def _record_barrier_span(self, slot: SubjobSlot) -> None:
+        """Record the slot's barrier occupancy: first check-in → release."""
+        table = self.barrier.tables.get(slot.slot_id)
+        if table is None or not table.checkins:
+            return
+        first = min(c.time for c in table.checkins.values())
+        self.tracer.record(
+            "duroc.barrier", first, self.env.now,
+            parent=slot.trace_ctx, job=self.job_id, slot=slot.index,
+        )
 
     def _release_latecomer(self, slot: SubjobSlot) -> None:
         """An optional subjob checked in after release: let it join."""
         members = self.released_slots() + [slot]
         slot_ids = [s.slot_id for s in members]
         configs = self.barrier.build_config(slot_ids)
+        self._record_barrier_span(slot)
         self.barrier.release_slot(slot.slot_id, configs[slot.slot_id])
         slot.transition(SubjobState.RELEASED, self.env.now)
         self._emit(DurocEvent.SUBJOB_RELEASED, slot, "late join")
@@ -722,7 +757,8 @@ class Duroc:
         self.network = network
         self.env: "Environment" = network.env
         self.host = host
-        self.gram = GramClient(network, host, credential, auth)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.gram = GramClient(network, host, credential, auth, tracer=self.tracer)
         self.default_subjob_timeout = default_subjob_timeout
         self.submit_timeout = submit_timeout
         #: The paper's DUROC submits subjobs strictly sequentially
@@ -730,7 +766,6 @@ class Duroc:
         self.sequential_submission = sequential_submission
         #: Seconds between job-manager liveness polls (0 disables).
         self.heartbeat_interval = heartbeat_interval
-        self.tracer = tracer
         self.jobs: list[DurocJob] = []
         self._job_counter = itertools.count(1)
 

@@ -83,20 +83,22 @@ def run_fig5(
         ]
         for span in fork_spans:
             entries.append(TimelineEntry(lane, "fork", span.start, span.end))
-        # Startup: fork end → earliest check-in; barrier: check-in → release.
-        table = job.barrier.tables[slot.slot_id]
-        if fork_spans and table.checkins:
+        # Startup: fork end → earliest check-in; barrier: check-in →
+        # release.  Both edges come straight from the trace: the
+        # ``duroc.barrier`` span the co-allocator records per slot runs
+        # from the slot's first check-in to its release.
+        barrier_spans = tracer.spans_named(
+            "duroc.barrier", job=job.job_id, slot=slot.index
+        )
+        if fork_spans and barrier_spans:
             fork_end = max(s.end for s in fork_spans)
-            for rank, checkin in sorted(table.checkins.items()):
-                if rank == 0:
-                    entries.append(
-                        TimelineEntry(lane, "startup", fork_end, checkin.time)
-                    )
-                released = job.barrier.release_times.get((slot.slot_id, rank))
-                if released is not None and rank == 0:
-                    entries.append(
-                        TimelineEntry(lane, "barrier", checkin.time, released)
-                    )
+            for span in barrier_spans:
+                entries.append(
+                    TimelineEntry(lane, "startup", fork_end, span.start)
+                )
+                entries.append(
+                    TimelineEntry(lane, "barrier", span.start, span.end)
+                )
     entries.append(
         TimelineEntry("request", "active", result.released_at, result.released_at)
     )

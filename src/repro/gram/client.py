@@ -24,6 +24,7 @@ from repro.net.rpc import RPCError, call
 from repro.net.transport import Port, ephemeral_endpoint
 from repro.rsl.ast import Specification
 from repro.rsl.printer import unparse
+from repro.simcore.tracing import NULL_TRACER, TraceContext, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -122,12 +123,14 @@ class GramClient:
         host: str,
         credential: Credential,
         auth: Optional[AuthConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.network = network
         self.env: "Environment" = network.env
         self.host = host
         self.credential = credential
         self.auth = auth or AuthConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _fresh_port(self) -> Port:
         return Port(self.network, ephemeral_endpoint(self.host, "gram"))
@@ -141,6 +144,7 @@ class GramClient:
         callback: Optional[Endpoint] = None,
         params: Optional[dict[str, Any]] = None,
         timeout: Optional[float] = None,
+        ctx: Optional[TraceContext] = None,
     ):
         """Submit a request; returns a :class:`JobHandle` or raises
         :class:`GramError` / :class:`~repro.errors.RPCTimeout`.
@@ -148,33 +152,45 @@ class GramClient:
         The call spans mutual authentication plus gatekeeper processing;
         it returns when the gatekeeper has created the job manager —
         job *activation* arrives later via callback or status polls.
+        ``ctx`` parents the client-side ``gram.submit`` span (and, via
+        the wire, everything the gatekeeper does for this request).
         """
         port = self._fresh_port()
         dst = contact_endpoint(contact)
-        session = yield from initiate(
-            port, dst, self.credential, self.auth, timeout=timeout
-        )
-        rsl_text = rsl if isinstance(rsl, str) else unparse(rsl)
+        span = self.tracer.span("gram.submit", parent=ctx, contact=contact)
         try:
-            payload = yield from call(
-                port,
-                dst,
-                SUBMIT,
-                payload={
-                    "rsl": rsl_text,
-                    "callback": callback,
-                    "params": dict(params or {}),
-                    "session": session.session_id,
-                },
-                timeout=timeout,
+            session = yield from initiate(
+                port, dst, self.credential, self.auth, timeout=timeout,
+                ctx=span.context,
             )
-        except RPCError as exc:
-            raise GramError(f"submit to {contact} refused: {exc.payload}") from None
+            rsl_text = rsl if isinstance(rsl, str) else unparse(rsl)
+            try:
+                payload = yield from call(
+                    port,
+                    dst,
+                    SUBMIT,
+                    payload={
+                        "rsl": rsl_text,
+                        "callback": callback,
+                        "params": dict(params or {}),
+                        "session": session.session_id,
+                    },
+                    timeout=timeout,
+                    ctx=span.context,
+                )
+            except RPCError as exc:
+                raise GramError(
+                    f"submit to {contact} refused: {exc.payload}"
+                ) from None
+        except BaseException:
+            span.finish(ok=False)
+            raise
         handle = JobHandle(
             job_id=payload["job_id"],
             manager=payload["manager"],
             submitted_at=self.env.now,
         )
+        span.finish(ok=True, job=handle.job_id)
         return handle
 
     def status(self, handle: JobHandle, timeout: Optional[float] = None):

@@ -38,7 +38,7 @@ from repro.rsl.attributes import (
 from repro.rsl.parser import parse
 from repro.rsl.attributes import validate_subjob_spec
 from repro.schedulers.base import LocalScheduler
-from repro.simcore.tracing import Tracer
+from repro.simcore.tracing import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -71,7 +71,8 @@ class Gatekeeper:
         self.gridmap = gridmap
         self.programs = programs
         self.costs = costs or CostModel()
-        self.tracer = tracer
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = self.tracer.metrics
         self.port = Port(machine.network, Endpoint(machine.name, GATEKEEPER_PORT))
         self.endpoint = self.port.endpoint
         #: Job managers created by this gatekeeper, by job id.
@@ -99,6 +100,21 @@ class Gatekeeper:
     def _handle(self, hello):
         """Serve one connection: authenticate, authorize, submit."""
         env = self.env
+        site = self.machine.name
+        self.metrics.gauge("gram.gatekeeper_inflight").inc(site=site)
+        try:
+            yield from self._handle_inner(hello)
+        finally:
+            self.metrics.gauge("gram.gatekeeper_inflight").dec(site=site)
+
+    def _count_submit(self, outcome: str) -> None:
+        self.metrics.counter("gram.submits_total").inc(
+            site=self.machine.name, outcome=outcome
+        )
+
+    def _handle_inner(self, hello):
+        env = self.env
+        ctx = hello.trace_ctx
         auth_start = env.now
         try:
             session = yield from accept(
@@ -106,13 +122,14 @@ class Gatekeeper:
                 timeout=30.0,
             )
         except AuthenticationError:
+            self._count_submit("auth_failed")
             return  # the client was already informed by accept()
         except HostDown:
+            self._count_submit("host_down")
             return
-        if self.tracer is not None:
-            self.tracer.record(
-                "gram.auth", auth_start, env.now, site=self.machine.name
-            )
+        self.tracer.record(
+            "gram.auth", auth_start, env.now, parent=ctx, site=self.machine.name
+        )
 
         # The authenticated peer now sends the actual request.
         get = self.port.recv(
@@ -122,9 +139,11 @@ class Gatekeeper:
         yield get | deadline
         if not get.triggered:
             get.cancel()
+            self._count_submit("request_timeout")
             return
         deadline.cancelled = True  # retire the timer
         request = get.value
+        ctx = request.trace_ctx or ctx
 
         misc_start = env.now
         try:
@@ -132,30 +151,31 @@ class Gatekeeper:
         except RSLError as exc:
             yield env.timeout(self.costs.misc)
             reply_error(self.port, request, payload=str(exc))
+            self._count_submit("bad_rsl")
             return
         yield env.timeout(self.costs.misc)
-        if self.tracer is not None:
-            self.tracer.record(
-                "gram.misc", misc_start, env.now, site=self.machine.name
-            )
+        self.tracer.record(
+            "gram.misc", misc_start, env.now, parent=ctx, site=self.machine.name
+        )
 
         executable = spec.get(EXECUTABLE)
         if executable not in self.programs:
             reply_error(
                 self.port, request, payload=f"executable {executable!r} not found"
             )
+            self._count_submit("no_executable")
             return
 
         # initgroups(): switch to the gridmap-resolved local user.  The
         # paper's single largest cost — consults remote NIS databases.
         ig_start = env.now
         yield env.timeout(self.costs.initgroups)
-        if self.tracer is not None:
-            self.tracer.record(
-                "gram.initgroups", ig_start, env.now, site=self.machine.name
-            )
+        self.tracer.record(
+            "gram.initgroups", ig_start, env.now, parent=ctx, site=self.machine.name
+        )
 
         if self.machine.crashed:
+            self._count_submit("crashed")
             return  # we died mid-request; the client's timeout handles it
 
         job = self._make_job(spec, request.payload.get("params") or {})
@@ -168,8 +188,10 @@ class Gatekeeper:
             costs=self.costs,
             callback=request.payload.get("callback"),
             tracer=self.tracer,
+            ctx=ctx,
         )
         self.job_managers[job.job_id] = manager
+        self._count_submit("accepted")
         reply_ok(
             self.port,
             request,

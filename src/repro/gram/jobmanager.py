@@ -20,7 +20,7 @@ from repro.net.address import Endpoint
 from repro.net.transport import Port
 from repro.schedulers.base import LocalScheduler, NodeRequest
 from repro.simcore.process import Interrupt
-from repro.simcore.tracing import Tracer
+from repro.simcore.tracing import NULL_TRACER, OBS_CONTEXT_PARAM, TraceContext, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -46,6 +46,7 @@ class JobManager:
         costs: CostModel,
         callback: Optional[Endpoint] = None,
         tracer: Optional[Tracer] = None,
+        ctx: Optional[TraceContext] = None,
     ) -> None:
         self.env = env
         self.machine = machine
@@ -55,7 +56,10 @@ class JobManager:
         self.costs = costs
         #: Callback listeners; more can be (un)registered at runtime.
         self.callbacks: list[Endpoint] = [callback] if callback is not None else []
-        self.tracer = tracer
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = self.tracer.metrics
+        #: Trace context of the submit request this manager serves.
+        self.ctx = ctx
         self.port = Port(
             machine.network, Endpoint(machine.name, f"jm.{job.job_id.split('/')[-1]}")
         )
@@ -67,10 +71,16 @@ class JobManager:
 
     # -- lifecycle ------------------------------------------------------------
 
+    def _count_transition(self) -> None:
+        self.metrics.counter("gram.job_transitions_total").inc(
+            state=self.job.state.value, site=self.machine.name
+        )
+
     def _drive(self):
         env = self.env
         job = self.job
         job.transition(JobState.PENDING, env.now)
+        self._count_transition()
         self._notify()
 
         # Obtain nodes from the local scheduling policy.  Requests the
@@ -104,8 +114,10 @@ class JobManager:
         except Exception as exc:  # scheduler rejected (e.g. reservation)
             self._fail(str(exc))
             return
-        if self.tracer is not None and env.now > queue_start:
-            self.tracer.record("gram.queue", queue_start, env.now, job=job.job_id)
+        if env.now > queue_start:
+            self.tracer.record(
+                "gram.queue", queue_start, env.now, parent=self.ctx, job=job.job_id
+            )
 
         # Fork the processes (paper: ~1 ms per process).
         fork_start = env.now
@@ -115,8 +127,9 @@ class JobManager:
             self._release()
             self._fail("canceled during fork")
             return
-        if self.tracer is not None:
-            self.tracer.record("gram.fork", fork_start, env.now, job=job.job_id)
+        self.tracer.record(
+            "gram.fork", fork_start, env.now, parent=self.ctx, job=job.job_id
+        )
 
         if self.machine.crashed:
             self._release()
@@ -134,12 +147,14 @@ class JobManager:
                 params=dict(job.params, **{
                     "gram.job_id": job.job_id,
                     "gram.contact": str(self.contact),
+                    OBS_CONTEXT_PARAM: self.ctx,
                 }),
             )
             records.append(record)
         job.pids = [r.pid for r in records]
 
         job.transition(JobState.ACTIVE, env.now)
+        self._count_transition()
         self._notify()
 
         # Wait for every process to exit.  If any process dies abnormally
@@ -162,6 +177,7 @@ class JobManager:
 
         self._release()
         job.transition(JobState.DONE, env.now)
+        self._count_transition()
         self._notify()
 
     def _release(self) -> None:
@@ -172,6 +188,7 @@ class JobManager:
     def _fail(self, reason: str) -> None:
         if not self.job.state.terminal:
             self.job.transition(JobState.FAILED, self.env.now, reason=reason)
+            self._count_transition()
             self._notify()
 
     def _notify(self) -> None:

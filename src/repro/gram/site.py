@@ -38,8 +38,13 @@ class Site:
     ) -> None:
         self.env = env
         self.name = name
-        self.machine = Machine(env, network, name, nodes=nodes, speed=speed)
+        self.machine = Machine(
+            env, network, name, nodes=nodes, speed=speed, tracer=tracer
+        )
         self.scheduler: LocalScheduler = scheduler_factory(env, nodes, memory)
+        if tracer is not None:
+            self.scheduler.metrics = tracer.metrics
+            self.scheduler.site = name
         self.gridmap = gridmap if gridmap is not None else GridMap()
         self.costs = costs or CostModel()
         self.gatekeeper = Gatekeeper(

@@ -32,7 +32,7 @@ from repro.schedulers.fork import ForkScheduler
 from repro.schedulers.reservation import ReservationScheduler
 from repro.simcore.environment import Environment
 from repro.simcore.rng import RngRegistry
-from repro.simcore.tracing import Tracer
+from repro.simcore.tracing import NullTracer, Tracer
 
 SCHEDULERS = {
     "fork": ForkScheduler,
@@ -105,7 +105,8 @@ class Grid:
 
     def gram_client(self) -> GramClient:
         return GramClient(
-            self.network, self.client_host, self.credential, auth=self.costs.auth
+            self.network, self.client_host, self.credential,
+            auth=self.costs.auth, tracer=self.tracer,
         )
 
     # -- execution ---------------------------------------------------------------
@@ -136,6 +137,7 @@ class GridBuilder:
         costs: Optional[CostModel] = None,
         user: str = "alice",
         client_host: str = CLIENT_HOST,
+        trace: bool = True,
     ) -> None:
         self.seed = seed
         self.latency = latency
@@ -143,6 +145,9 @@ class GridBuilder:
         self.costs = costs or CostModel()
         self.user = user
         self.client_host = client_host
+        #: ``trace=False`` builds the grid on a NullTracer: no spans, no
+        #: metrics, identical simulation behaviour (tested).
+        self.trace = trace
         self._machines: list[dict] = []
         self._programs: dict[str, Program] = {}
 
@@ -193,9 +198,9 @@ class GridBuilder:
             jitter_cv=self.latency_jitter_cv,
             rng=rngs.stream("net.latency") if self.latency_jitter_cv else None,
         )
-        network = Network(env, latency_model)
+        tracer = Tracer(env) if self.trace else NullTracer(env)
+        network = Network(env, latency_model, metrics=tracer.metrics)
         network.add_host(self.client_host)
-        tracer = Tracer(env)
         ca = CertificateAuthority()
         credential = ca.issue(self.user)
 

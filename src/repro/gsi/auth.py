@@ -32,6 +32,7 @@ from repro.net.transport import Port
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
+    from repro.simcore.tracing import TraceContext
 
 _session_ids = itertools.count(1)
 
@@ -74,17 +75,19 @@ def initiate(
     credential: Credential,
     config: Optional[AuthConfig] = None,
     timeout: Optional[float] = None,
+    ctx: "Optional[TraceContext]" = None,
 ) -> Generator:
     """Client half of the handshake; returns an :class:`AuthSession`.
 
     Raises :class:`AuthenticationError` if the server rejects us or the
-    handshake times out.
+    handshake times out.  ``ctx`` rides on the HELLO so the server can
+    parent its auth span under the caller's request.
     """
     config = config or AuthConfig()
     env = port.env
     corr = next(_session_ids)
     port.send(dst, HELLO, payload={"credential": credential},
-              reply_to=port.endpoint, corr_id=corr)
+              reply_to=port.endpoint, corr_id=corr, ctx=ctx)
 
     # The server answers with CHALLENGE, or with an early RESULT on
     # verification/authorization failure.
@@ -95,7 +98,7 @@ def initiate(
     if config.client_cpu > 0:
         yield env.timeout(config.client_cpu)
     port.send(dst, RESPONSE, payload={"nonce": challenge.payload["nonce"]},
-              reply_to=port.endpoint, corr_id=corr)
+              reply_to=port.endpoint, corr_id=corr, ctx=ctx)
 
     result = yield from _await(port, env, corr, RESULT, timeout)
     outcome = result.payload

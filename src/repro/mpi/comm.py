@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional
 from repro.core.config import DurocConfig
 from repro.errors import MPIError
 from repro.net.transport import Port
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 #: Message kinds.
 PT2PT = "mpi.msg"
@@ -28,11 +29,17 @@ COLLECTIVE = "mpi.coll"
 class MiniComm:
     """An MPI_COMM_WORLD equivalent for one process."""
 
-    def __init__(self, port: Port, config: DurocConfig) -> None:
+    def __init__(
+        self,
+        port: Port,
+        config: DurocConfig,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.port = port
         self.config = config
         self.rank = config.global_rank()
         self.size = config.total_processes
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._coll_seq = 0
 
     # -- naming -----------------------------------------------------------
@@ -49,6 +56,7 @@ class MiniComm:
     def send(self, dest: int, data: Any, tag: int = 0) -> None:
         """Asynchronous send to global rank ``dest``."""
         self._check_rank(dest)
+        self.metrics.counter("mpi.messages_total").inc(op="pt2pt")
         self.port.send(
             self.address_of(dest),
             PT2PT,
@@ -76,6 +84,7 @@ class MiniComm:
     # sequence number isolates consecutive operations from one another.
 
     def _coll_send(self, dest: int, seq: int, phase: str, data: Any) -> None:
+        self.metrics.counter("mpi.messages_total").inc(op=phase)
         self.port.send(
             self.address_of(dest),
             COLLECTIVE,

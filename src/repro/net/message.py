@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.net.address import Endpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.tracing import TraceContext
 
 _msg_ids = itertools.count(1)
 
@@ -19,6 +22,8 @@ class Message:
     ``"duroc.checkin"``) used by receivers to demultiplex; ``payload``
     is an arbitrary (ideally immutable) Python object.  ``reply_to`` and
     ``corr_id`` support request/response correlation in the RPC layer.
+    ``trace_ctx`` carries the sender's trace context so the receiver can
+    parent its spans causally (see ``repro.simcore.tracing``).
     """
 
     src: Endpoint
@@ -31,6 +36,7 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     sent_at: float | None = None
     delivered_at: float | None = None
+    trace_ctx: "TraceContext | None" = None
 
     def reply(self, kind: str, payload: Any = None) -> "Message":
         """Build a response message correlated with this request."""
@@ -42,6 +48,7 @@ class Message:
             kind=kind,
             payload=payload,
             corr_id=self.corr_id,
+            trace_ctx=self.trace_ctx,
         )
 
     def __repr__(self) -> str:

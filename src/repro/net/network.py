@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import HostDown, NetworkError, SimulationError
 from repro.net.address import Endpoint
 from repro.net.message import Message
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.simcore.resources import Store
 from repro.simcore.rng import jittered
 
@@ -87,9 +88,11 @@ class Network:
         self,
         env: "Environment",
         latency_model: Optional[LatencyModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.env = env
         self.latency_model = latency_model or LatencyModel()
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._hosts: set[str] = set()
         self._down: set[str] = set()
         self._mailboxes: dict[Endpoint, Store] = {}
@@ -200,9 +203,12 @@ class Network:
 
         self.sent_count += 1
         message.sent_at = self.env.now
+        self.metrics.counter("net.messages_sent_total").inc(kind=message.kind)
+        self.metrics.rate("net.send_rate").tick()
 
         if any(rule(message) for rule in self._drop_rules):
             self.dropped_count += 1
+            self.metrics.counter("net.messages_dropped_total").inc(reason="rule")
             return
 
         delay = self.latency_model.latency(
@@ -217,11 +223,18 @@ class Network:
         # or crash occurring mid-flight loses the message.
         if not self._reachable(message.src.host, message.dst.host):
             self.dropped_count += 1
+            self.metrics.counter("net.messages_dropped_total").inc(reason="unreachable")
             return
         box = self._mailboxes.get(message.dst)
         if box is None:
             self.dropped_count += 1
+            self.metrics.counter("net.messages_dropped_total").inc(reason="unbound")
             return
         message.delivered_at = self.env.now
         self.delivered_count += 1
+        self.metrics.counter("net.messages_delivered_total").inc(kind=message.kind)
+        if message.sent_at is not None:
+            self.metrics.histogram("net.delivery_latency_seconds").observe(
+                message.delivered_at - message.sent_at
+            )
         box.put(message)

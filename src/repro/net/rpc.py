@@ -10,15 +10,15 @@ this "request may fail or time out" behaviour.
 
 from __future__ import annotations
 
-import itertools
-from typing import Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import RPCTimeout
 from repro.net.address import Endpoint
 from repro.net.message import Message
 from repro.net.transport import Port
 
-_corr_ids = itertools.count(1)
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.tracing import TraceContext
 
 #: Reply-kind suffix convention: a request of kind "x" is answered with
 #: a message of kind "x.reply".
@@ -39,15 +39,21 @@ def call(
     kind: str,
     payload: Any = None,
     timeout: Optional[float] = None,
+    ctx: "Optional[TraceContext]" = None,
 ) -> Generator:
     """Perform an RPC; designed to be delegated to with ``yield from``.
 
     Returns the reply payload.  Raises :class:`RPCTimeout` on timeout
     and :class:`RPCError` if the remote answered with ``kind + ".error"``.
+    ``ctx`` rides on the request so the remote handler can parent its
+    spans under the caller's.
     """
     env = port.env
-    corr = next(_corr_ids)
-    port.send(dst, kind, payload, reply_to=port.endpoint, corr_id=corr)
+    metrics = port.network.metrics
+    corr = port.next_corr_id()
+    started = env.now
+    metrics.counter("rpc.calls_total").inc(kind=kind)
+    port.send(dst, kind, payload, reply_to=port.endpoint, corr_id=corr, ctx=ctx)
 
     reply_event = port.recv(filter=lambda m: m.corr_id == corr)
     if timeout is None:
@@ -57,12 +63,14 @@ def call(
         yield reply_event | deadline
         if not reply_event.triggered:
             reply_event.cancel()
+            metrics.counter("rpc.timeouts_total").inc(kind=kind)
             raise RPCTimeout(
                 f"rpc {kind!r} to {dst} timed out after {timeout:g}s"
             )
         deadline.cancelled = True  # retire the timer
         message = reply_event.value
 
+    metrics.histogram("rpc.latency_seconds").observe(env.now - started, kind=kind)
     if message.kind == kind + ".error":
         raise RPCError(message.payload)
     return message.payload

@@ -11,12 +11,15 @@ A :class:`Port` wraps a bound endpoint with convenient ``send``/
 from __future__ import annotations
 
 import itertools
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.net.address import Endpoint
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.simcore.resources import StoreGet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.tracing import TraceContext
 
 _port_ids = itertools.count(1)
 
@@ -33,10 +36,19 @@ class Port:
         self.network = network
         self.endpoint = endpoint
         self.mailbox = network.bind(endpoint)
+        # Correlation ids are per-port (not module-global) so a run is
+        # reproducible in isolation: the first RPC from a fresh grid
+        # always gets corr_id 1, regardless of what ran earlier in the
+        # same process.
+        self._corr_ids = itertools.count(1)
 
     @property
     def env(self):
         return self.network.env
+
+    def next_corr_id(self) -> int:
+        """A fresh correlation id, unique within this port."""
+        return next(self._corr_ids)
 
     def send(
         self,
@@ -45,6 +57,7 @@ class Port:
         payload: Any = None,
         reply_to: Optional[Endpoint] = None,
         corr_id: Optional[int] = None,
+        ctx: "Optional[TraceContext]" = None,
     ) -> Message:
         """Send a message from this port."""
         message = Message(
@@ -54,6 +67,7 @@ class Port:
             payload=payload,
             reply_to=reply_to,
             corr_id=corr_id,
+            trace_ctx=ctx,
         )
         self.network.send(message)
         return message

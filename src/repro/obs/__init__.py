@@ -1,0 +1,35 @@
+"""Grid-wide observability: causal tracing, metrics, trace queries.
+
+Three pillars (see docs/OBSERVABILITY.md):
+
+- **Causal tracing** — ``repro.simcore.tracing`` spans carry
+  ``trace_id``/``span_id``/``parent_id`` and contexts ride on network
+  messages, so one DUROC request is one trace tree.
+- **Metrics** — :mod:`repro.obs.metrics` instruments keyed to the
+  simulated clock, wired into transport, GRAM, DUROC, and schedulers.
+- **Queries** — exporters (:mod:`repro.obs.export`), tree/critical-path
+  analysis (:mod:`repro.obs.query`), renderers (:mod:`repro.obs.render`)
+  and the ``python -m repro.obs`` CLI.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    WindowedRate,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullMetricsRegistry",
+    "WindowedRate",
+]

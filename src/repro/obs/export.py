@@ -1,0 +1,254 @@
+"""Trace and metrics exporters.
+
+Two trace formats:
+
+* **JSONL** — one record per line, self-describing and loss-free; the
+  native interchange format consumed by ``python -m repro.obs`` and by
+  :func:`load_jsonl`.  Records are sorted and serialized with sorted
+  keys, so two identical runs produce byte-identical files.
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto JSON event
+  format, for interactive inspection.  Spans become complete ("X")
+  events, marks become instants ("i"); simulated seconds map to
+  microseconds.
+
+Metrics snapshots are written as sorted-key JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Union
+
+from repro.simcore.tracing import Mark, Span
+
+#: JSONL format version, bumped on incompatible record changes.
+FORMAT_VERSION = 1
+
+
+@dataclass
+class TraceDump:
+    """A loaded (or in-memory) trace: just spans and marks.
+
+    Structurally compatible with :class:`~repro.simcore.tracing.Tracer`
+    for every read-only consumer in :mod:`repro.obs`.
+    """
+
+    spans: list[Span] = field(default_factory=list)
+    marks: list[Mark] = field(default_factory=list)
+
+
+#: Anything with ``.spans`` and ``.marks`` lists (Tracer, TraceDump).
+TraceSource = Any
+
+
+def _clean(value: Any) -> Any:
+    """Make an attribute value JSON-representable, deterministically."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_clean(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _clean(v) for k, v in value.items()}
+    return str(value)
+
+
+def span_record(span: Span) -> dict[str, Any]:
+    return {
+        "record": "span",
+        "name": span.name,
+        "start": span.start,
+        "end": span.end,
+        "attrs": {k: _clean(v) for k, v in span.attrs.items()},
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+    }
+
+
+def mark_record(mark: Mark) -> dict[str, Any]:
+    return {
+        "record": "mark",
+        "name": mark.name,
+        "time": mark.time,
+        "attrs": {k: _clean(v) for k, v in mark.attrs.items()},
+        "trace_id": mark.trace_id,
+        "parent_id": mark.parent_id,
+    }
+
+
+def _dumps(record: dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def export_jsonl(trace: TraceSource) -> str:
+    """The JSONL export as a string (trailing newline included)."""
+    meta = {
+        "record": "meta",
+        "version": FORMAT_VERSION,
+        "spans": len(trace.spans),
+        "marks": len(trace.marks),
+    }
+    span_lines = sorted(
+        (_dumps(span_record(s)) for s in trace.spans),
+        key=lambda line: (json.loads(line)["start"], line),
+    )
+    mark_lines = sorted(
+        (_dumps(mark_record(m)) for m in trace.marks),
+        key=lambda line: (json.loads(line)["time"], line),
+    )
+    return "\n".join([_dumps(meta), *span_lines, *mark_lines]) + "\n"
+
+
+def write_jsonl(trace: TraceSource, path: Union[str, Path]) -> Path:
+    """Write the JSONL export; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(export_jsonl(trace))
+    return path
+
+
+def load_jsonl(path: Union[str, Path]) -> TraceDump:
+    """Load a JSONL export back into spans and marks."""
+    dump = TraceDump()
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.get("record")
+        if kind == "meta":
+            continue
+        if kind == "span":
+            dump.spans.append(
+                Span(
+                    record["name"],
+                    record["start"],
+                    record["end"],
+                    record.get("attrs", {}),
+                    trace_id=record.get("trace_id"),
+                    span_id=record.get("span_id"),
+                    parent_id=record.get("parent_id"),
+                )
+            )
+        elif kind == "mark":
+            dump.marks.append(
+                Mark(
+                    record["name"],
+                    record["time"],
+                    record.get("attrs", {}),
+                    trace_id=record.get("trace_id"),
+                    parent_id=record.get("parent_id"),
+                )
+            )
+        else:
+            raise ValueError(f"{path}:{lineno}: unknown record type {kind!r}")
+    return dump
+
+
+# -- Chrome trace format -----------------------------------------------------
+
+
+def chrome_trace(trace: TraceSource) -> dict[str, Any]:
+    """The trace as a ``chrome://tracing`` / Perfetto JSON object.
+
+    Each trace tree becomes a process (pid); each span name becomes a
+    thread (tid) so same-named spans share a row.  Times are exported
+    in microseconds, the format's native unit.
+    """
+    trace_ids = sorted(
+        {s.trace_id for s in trace.spans if s.trace_id is not None}
+        | {m.trace_id for m in trace.marks if m.trace_id is not None}
+    )
+    pids = {tid: idx + 1 for idx, tid in enumerate(trace_ids)}
+    names = sorted(
+        {s.name for s in trace.spans} | {m.name for m in trace.marks}
+    )
+    tids = {name: idx + 1 for idx, name in enumerate(names)}
+
+    events: list[dict[str, Any]] = []
+    for tid, pid in sorted(pids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "name": "process_name",
+                "args": {"name": tid},
+            }
+        )
+    for name, tid_no in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": tid_no,
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+    for record in sorted(
+        (span_record(s) for s in trace.spans),
+        key=lambda r: (r["start"], _dumps(r)),
+    ):
+        args = dict(record["attrs"])
+        if record["span_id"] is not None:
+            args["span_id"] = record["span_id"]
+        if record["parent_id"] is not None:
+            args["parent_id"] = record["parent_id"]
+        events.append(
+            {
+                "ph": "X",
+                "name": record["name"],
+                "pid": pids.get(record["trace_id"], 0),
+                "tid": tids[record["name"]],
+                "ts": record["start"] * 1e6,
+                "dur": (record["end"] - record["start"]) * 1e6,
+                "args": args,
+            }
+        )
+    for record in sorted(
+        (mark_record(m) for m in trace.marks),
+        key=lambda r: (r["time"], _dumps(r)),
+    ):
+        events.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "name": record["name"],
+                "pid": pids.get(record["trace_id"], 0),
+                "tid": tids[record["name"]],
+                "ts": record["time"] * 1e6,
+                "args": dict(record["attrs"]),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: TraceSource, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(trace), sort_keys=True) + "\n")
+    return path
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def metrics_json(snapshot: dict[str, Any]) -> str:
+    """A metrics snapshot as deterministic, human-diffable JSON."""
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def write_metrics(snapshot: dict[str, Any], path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(metrics_json(snapshot))
+    return path
+
+
+def iter_records(trace: TraceSource) -> Iterable[dict[str, Any]]:
+    """All span and mark records, unsorted — for ad-hoc consumers."""
+    for span in trace.spans:
+        yield span_record(span)
+    for mark in trace.marks:
+        yield mark_record(mark)

@@ -1,0 +1,432 @@
+"""Deterministic simulated-time metrics.
+
+A :class:`MetricsRegistry` hands out named instruments — counters,
+gauges, histograms with fixed bucket boundaries, and windowed rates —
+keyed by (name, sorted label items).  All timestamps come from the
+simulated clock, never from the wall clock, so two identical runs
+produce byte-identical snapshots.
+
+The registry is deliberately free of imports from the rest of the
+package: ``repro.simcore.tracing`` reaches it lazily, and every layer
+from the network up can depend on it without cycles.  Hot paths that
+are not being measured use :data:`NULL_METRICS`, whose instruments are
+shared no-op singletons.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional, Protocol
+
+#: Sorted (label, value) pairs — the identity of one labeled series.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (seconds): spans from a fast
+#: loopback RPC (~10 us) to a multi-minute queue wait.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_dict(key: LabelKey) -> Dict[str, str]:
+    return dict(key)
+
+
+class _Clock(Protocol):
+    now: float
+
+
+class _ZeroClock:
+    now = 0.0
+
+
+class Counter:
+    """Monotonically increasing count, one value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all label sets."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "values": [
+                {"labels": _label_dict(key), "value": self._values[key]}
+                for key in sorted(self._values)
+            ],
+        }
+
+
+class Gauge:
+    """Instantaneous level (queue depth, barrier occupancy, ...).
+
+    Tracks the high-water mark per label set so snapshots capture peak
+    occupancy even when the final level has drained back to zero.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+        self._high: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = value
+        if value > self._high.get(key, float("-inf")):
+            self._high[key] = value
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        self.set(self._values.get(_label_key(labels), 0.0) + amount, **labels)
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def high_water(self, **labels: Any) -> float:
+        return self._high.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "values": [
+                {
+                    "labels": _label_dict(key),
+                    "value": self._values[key],
+                    "high_water": self._high[key],
+                }
+                for key in sorted(self._values)
+            ],
+        }
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1 for the +Inf bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram:
+    """Distribution with fixed bucket upper bounds, one per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {name!r} buckets must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self._series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        series.counts[bisect_left(self.buckets, value)] += 1
+        series.count += 1
+        series.sum += value
+        if value < series.min:
+            series.min = value
+        if value > series.max:
+            series.max = value
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series is not None else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum if series is not None else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Upper bound of the bucket holding the q-quantile observation.
+
+        Returns the recorded max for observations beyond the last
+        finite bucket, and 0.0 for an empty series.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(series.count * q))
+        cumulative = 0
+        for i, upper in enumerate(self.buckets):
+            cumulative += series.counts[i]
+            if cumulative >= rank:
+                return upper
+        return series.max
+
+    def snapshot(self) -> dict[str, Any]:
+        values = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            cumulative = 0
+            bucket_counts = []
+            for i, upper in enumerate(self.buckets):
+                cumulative += series.counts[i]
+                bucket_counts.append({"le": upper, "count": cumulative})
+            bucket_counts.append({"le": "+Inf", "count": series.count})
+            values.append(
+                {
+                    "labels": _label_dict(key),
+                    "count": series.count,
+                    "sum": series.sum,
+                    "min": series.min if series.count else 0.0,
+                    "max": series.max if series.count else 0.0,
+                    "buckets": bucket_counts,
+                }
+            )
+        return {"type": self.kind, "help": self.help, "values": values}
+
+
+class WindowedRate:
+    """Events per second over a sliding window of simulated time."""
+
+    kind = "rate"
+
+    def __init__(
+        self,
+        name: str,
+        clock: _Clock,
+        window: float = 10.0,
+        help: str = "",
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"rate {name!r} window must be positive")
+        self.name = name
+        self.help = help
+        self.window = float(window)
+        self._clock = clock
+        self._events: Dict[LabelKey, Deque[float]] = {}
+        self._totals: Dict[LabelKey, int] = {}
+
+    def tick(self, **labels: Any) -> None:
+        key = _label_key(labels)
+        events = self._events.get(key)
+        if events is None:
+            events = self._events[key] = deque()
+        now = self._clock.now
+        events.append(now)
+        self._totals[key] = self._totals.get(key, 0) + 1
+        self._prune(events, now)
+
+    def _prune(self, events: Deque[float], now: float) -> None:
+        horizon = now - self.window
+        while events and events[0] <= horizon:
+            events.popleft()
+
+    def rate(self, **labels: Any) -> float:
+        key = _label_key(labels)
+        events = self._events.get(key)
+        if not events:
+            return 0.0
+        self._prune(events, self._clock.now)
+        return len(events) / self.window
+
+    def snapshot(self) -> dict[str, Any]:
+        values = []
+        for key in sorted(self._events):
+            events = self._events[key]
+            self._prune(events, self._clock.now)
+            values.append(
+                {
+                    "labels": _label_dict(key),
+                    "window": self.window,
+                    "in_window": len(events),
+                    "rate": len(events) / self.window,
+                    "total": self._totals.get(key, 0),
+                }
+            )
+        return {"type": self.kind, "help": self.help, "values": values}
+
+
+Instrument = Any  # Counter | Gauge | Histogram | WindowedRate
+
+
+class MetricsRegistry:
+    """Named instruments against a simulated clock.
+
+    Accessors are get-or-create: ``registry.counter("x").inc()`` works
+    whether or not ``"x"`` was declared before.  Asking for an existing
+    name with a different instrument type is an error — a name means
+    one thing for the life of a run.
+    """
+
+    def __init__(self, clock: Optional[_Clock] = None) -> None:
+        self._clock: _Clock = clock if clock is not None else _ZeroClock()
+        self._instruments: Dict[str, Instrument] = {}
+
+    @property
+    def clock(self) -> _Clock:
+        return self._clock
+
+    def _get(
+        self, cls: type, name: str, factory: Callable[[], Instrument]
+    ) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = self._instruments[name] = factory()
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, lambda: Histogram(name, help, buckets))
+
+    def rate(self, name: str, window: float = 10.0, help: str = "") -> WindowedRate:
+        return self._get(
+            WindowedRate, name, lambda: WindowedRate(name, self._clock, window, help)
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready state of every instrument, stably ordered."""
+        return {
+            "time": self._clock.now,
+            "metrics": {
+                name: self._instruments[name].snapshot()
+                for name in sorted(self._instruments)
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type."""
+
+    kind = "null"
+    name = "null"
+    help = ""
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def set(self, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, value: float, **labels: Any) -> None:
+        pass
+
+    def tick(self, **labels: Any) -> None:
+        pass
+
+    def value(self, **labels: Any) -> float:
+        return 0.0
+
+    def total(self) -> float:
+        return 0.0
+
+    def high_water(self, **labels: Any) -> float:
+        return 0.0
+
+    def count(self, **labels: Any) -> int:
+        return 0
+
+    def sum(self, **labels: Any) -> float:
+        return 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        return 0.0
+
+    def rate(self, **labels: Any) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": self.kind, "help": "", "values": []}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments do nothing — for untraced hot paths."""
+
+    def __init__(self) -> None:
+        super().__init__(clock=None)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def rate(self, name: str, window: float = 10.0, help: str = "") -> WindowedRate:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return []
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"time": 0.0, "metrics": {}}
+
+
+#: Shared no-op registry; safe to call from any hot path.
+NULL_METRICS = NullMetricsRegistry()

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SchedulerError
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.schedulers.states import QueuePhase, check_queue_transition
 from repro.simcore.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -93,6 +95,11 @@ class PendingAllocation:
         self.scheduler = scheduler
         self.request = request
         self.event: Event = scheduler.env.event()
+        self.state = QueuePhase.QUEUED
+
+    def transition(self, new: QueuePhase) -> None:
+        check_queue_transition(self.state, new)
+        self.state = new
 
     @property
     def granted(self) -> bool:
@@ -132,6 +139,10 @@ class LocalScheduler:
         self.leases: list[Lease] = []
         #: History of (submitted_at, granted_at, count) for prediction.
         self.history: list[tuple[float, float, int]] = []
+        #: Metrics sink and site label, set by the owning Site at wiring
+        #: time; standalone schedulers default to the shared no-op.
+        self.metrics: MetricsRegistry = NULL_METRICS
+        self.site: str = ""
 
     # -- API ------------------------------------------------------------------
 
@@ -177,7 +188,13 @@ class LocalScheduler:
             self.history.append(
                 (request.submitted_at, self.env.now, request.count)
             )
+            self.metrics.histogram("sched.queue_wait_seconds").observe(
+                self.env.now - request.submitted_at,
+                site=self.site, policy=self.policy,
+            )
+        pending.transition(QueuePhase.GRANTED)
         pending.event.succeed(lease)
+        self._observe_occupancy()
         return lease
 
     def _on_release(self, lease: Lease) -> None:
@@ -185,6 +202,7 @@ class LocalScheduler:
         self.free += lease.count
         if lease.request.memory is not None:
             self.free_memory += lease.request.memory
+        self._observe_occupancy()
         self._schedule_pass()
 
     def _withdraw(self, pending: PendingAllocation) -> bool:
@@ -193,6 +211,13 @@ class LocalScheduler:
     def _schedule_pass(self) -> None:
         """Re-examine the queue after state changes."""
         raise NotImplementedError
+
+    def _observe_occupancy(self) -> None:
+        """Refresh the busy-nodes and queue-depth gauges for this site."""
+        self.metrics.gauge("sched.nodes_busy").set(self.busy, site=self.site)
+        self.metrics.gauge("sched.queue_length").set(
+            self.queue_length(), site=self.site
+        )
 
     @property
     def busy(self) -> int:

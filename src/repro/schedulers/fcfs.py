@@ -12,6 +12,7 @@ from collections import deque
 from typing import Deque, Optional
 
 from repro.schedulers.base import LocalScheduler, NodeRequest, PendingAllocation
+from repro.schedulers.states import QueuePhase
 
 
 class FcfsScheduler(LocalScheduler):
@@ -43,6 +44,7 @@ class FcfsScheduler(LocalScheduler):
         pending = PendingAllocation(self, request)
         self._queue.append(pending)
         self._schedule_pass()
+        self._observe_occupancy()
         return pending
 
     def queue_length(self) -> int:
@@ -53,7 +55,9 @@ class FcfsScheduler(LocalScheduler):
             self._queue.remove(pending)
         except ValueError:
             return False
+        pending.transition(QueuePhase.WITHDRAWN)
         self._schedule_pass()  # removing the head may unblock others
+        self._observe_occupancy()
         return True
 
     def _schedule_pass(self) -> None:

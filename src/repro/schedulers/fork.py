@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.schedulers.base import Lease, LocalScheduler, NodeRequest, PendingAllocation
+from repro.schedulers.states import QueuePhase
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -31,7 +32,12 @@ class ForkScheduler(LocalScheduler):
         lease = Lease(self, request)
         self.leases.append(lease)
         self.history.append((self.env.now, self.env.now, request.count))
+        self.metrics.histogram("sched.queue_wait_seconds").observe(
+            0.0, site=self.site, policy=self.policy
+        )
+        pending.transition(QueuePhase.GRANTED)
         pending.event.succeed(lease)
+        self._observe_occupancy()
         return pending
 
     def queue_length(self) -> int:

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.errors import ReservationError
 from repro.schedulers.base import NodeRequest, PendingAllocation
 from repro.schedulers.fcfs import DEFAULT_RUNTIME_GUESS, FcfsScheduler
+from repro.schedulers.states import QueuePhase
 
 _resv_ids = itertools.count(1)
 
@@ -127,6 +128,7 @@ class ReservationScheduler(FcfsScheduler):
                     if resv is None:
                         # Window expired or canceled: fail the request.
                         del self._queue[idx]
+                        pending.transition(QueuePhase.REFUSED)
                         pending.event.fail(
                             ReservationError(
                                 f"reservation {req.reservation_id!r} is not active"
@@ -137,6 +139,7 @@ class ReservationScheduler(FcfsScheduler):
                     if resv.start <= now:
                         if req.count > resv.count:
                             del self._queue[idx]
+                            pending.transition(QueuePhase.REFUSED)
                             pending.event.fail(
                                 ReservationError(
                                     f"request for {req.count} nodes exceeds "

@@ -1,0 +1,50 @@
+"""Queue-phase lifecycle of a local scheduler allocation request.
+
+Every :class:`~repro.schedulers.base.PendingAllocation` moves through a
+tiny state machine: it is QUEUED on submit, and leaves the queue exactly
+once — GRANTED when nodes are assigned, WITHDRAWN when the requester
+cancels (GRAM timeout, DUROC abort), or REFUSED when the scheduler
+fails the request (e.g. a reservation window expired).  Declaring the
+lifecycle as a literal table lets the ``state-machine`` static checker
+verify every mutation site in ``src/repro/schedulers/``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import SchedulerError
+
+
+class QueuePhase(str, Enum):
+    """Lifecycle of one allocation request inside a local scheduler."""
+
+    #: Submitted; waiting in the scheduler's queue for nodes.
+    QUEUED = "queued"
+    #: Nodes assigned; a lease was issued.
+    GRANTED = "granted"
+    #: Withdrawn by the requester before nodes were assigned.
+    WITHDRAWN = "withdrawn"
+    #: Failed by the scheduler (bad reservation binding, expired window).
+    REFUSED = "refused"
+
+    @property
+    def terminal(self) -> bool:
+        return self is not QueuePhase.QUEUED
+
+
+QUEUE_PHASE_TRANSITIONS: dict[QueuePhase, frozenset[QueuePhase]] = {
+    QueuePhase.QUEUED: frozenset(
+        {QueuePhase.GRANTED, QueuePhase.WITHDRAWN, QueuePhase.REFUSED}
+    ),
+    QueuePhase.GRANTED: frozenset(),
+    QueuePhase.WITHDRAWN: frozenset(),
+    QueuePhase.REFUSED: frozenset(),
+}
+
+
+def check_queue_transition(current: QueuePhase, new: QueuePhase) -> None:
+    if new not in QUEUE_PHASE_TRANSITIONS[current]:
+        raise SchedulerError(
+            f"illegal queue transition {current.value} -> {new.value}"
+        )

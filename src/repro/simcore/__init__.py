@@ -17,7 +17,15 @@ from repro.simcore.events import AllOf, AnyOf, Condition, ConditionValue, Event,
 from repro.simcore.process import Interrupt, Process
 from repro.simcore.resources import Container, Resource, Store
 from repro.simcore.rng import RngRegistry, jittered
-from repro.simcore.tracing import Mark, NullTracer, Span, Tracer
+from repro.simcore.tracing import (
+    NULL_TRACER,
+    OBS_CONTEXT_PARAM,
+    Mark,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+)
 
 __all__ = [
     "AllOf",
@@ -30,13 +38,16 @@ __all__ = [
     "FOREVER",
     "Interrupt",
     "Mark",
+    "NULL_TRACER",
     "NullTracer",
+    "OBS_CONTEXT_PARAM",
     "Process",
     "Resource",
     "RngRegistry",
     "Span",
     "Store",
     "Timeout",
+    "TraceContext",
     "Tracer",
     "jittered",
 ]

@@ -1,18 +1,42 @@
-"""Structured trace recording.
+"""Structured trace recording with causal linkage.
 
 Components record *spans* (named intervals with attributes) and *marks*
-(instantaneous annotated points).  The Fig. 5 timeline reproduction and
-the Fig. 3 cost breakdown are both queries over a trace, and the
-determinism tests compare traces across runs.
+(instantaneous annotated points).  Every span carries a ``trace_id`` /
+``span_id`` / ``parent_id`` triple so a DUROC request and everything it
+causes — gatekeeper handling, jobmanager phases, application start-up,
+barrier check-ins — form one causally-linked tree.  The Fig. 5 timeline
+reproduction and the Fig. 3 cost breakdown are both queries over a
+trace, and the determinism tests compare traces across runs.
+
+Causality is propagated *explicitly*: simulated processes interleave on
+one real thread, so there is no ambient "current span" — a parent
+context is passed as a value (and rides on network messages as
+``Message.trace_ctx``).  Ids are allocated from per-tracer counters,
+never module-level ones, so a run executed in isolation produces the
+same ids as the same run executed after another.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
     from repro.simcore.environment import Environment
+
+#: Process-parameter key under which a spawned job's trace context is
+#: made visible to application code (see ``repro.core.applib``).
+OBS_CONTEXT_PARAM = "obs.ctx"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A position in a trace: which tree, and which node to hang off."""
+
+    trace_id: str
+    span_id: int
 
 
 @dataclass(frozen=True)
@@ -23,78 +47,191 @@ class Span:
     start: float
     end: float
     attrs: dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
 
     @property
     def duration(self) -> float:
         return self.end - self.start
 
+    @property
+    def context(self) -> Optional[TraceContext]:
+        """Context for parenting children under this span."""
+        if self.trace_id is None or self.span_id is None:
+            return None
+        return TraceContext(self.trace_id, self.span_id)
+
     def key(self) -> tuple:
         """Hashable identity used by determinism comparisons."""
-        return (self.name, self.start, self.end, tuple(sorted(self.attrs.items())))
+        return (
+            self.name,
+            self.start,
+            self.end,
+            tuple(sorted(self.attrs.items())),
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+        )
 
 
 @dataclass(frozen=True)
 class Mark:
-    """An instantaneous annotated event."""
+    """An instantaneous annotated event, optionally tied into a trace."""
 
     name: str
     time: float
     attrs: dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    parent_id: Optional[int] = None
 
     def key(self) -> tuple:
-        return (self.name, self.time, tuple(sorted(self.attrs.items())))
+        return (
+            self.name,
+            self.time,
+            tuple(sorted(self.attrs.items())),
+            self.trace_id,
+            self.parent_id,
+        )
+
+
+Parent = Union[TraceContext, Span, "_OpenSpan", None]
 
 
 class _OpenSpan:
-    """Context manager that records a span on exit."""
+    """In-flight span; records itself on ``close()``/``finish()``/exit."""
 
-    __slots__ = ("tracer", "name", "attrs", "start")
+    __slots__ = (
+        "tracer", "name", "attrs", "start",
+        "trace_id", "span_id", "parent_id", "_closed",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict[str, Any],
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+    ) -> None:
         self.tracer = tracer
         self.name = name
         self.attrs = attrs
         self.start = tracer.env.now
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._closed = False
+
+    @property
+    def context(self) -> TraceContext:
+        """Context for parenting children under this (still open) span."""
+        return TraceContext(self.trace_id, self.span_id)
 
     def __enter__(self) -> "_OpenSpan":
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self.tracer.spans.append(
-            Span(self.name, self.start, self.tracer.env.now, dict(self.attrs))
+            Span(
+                self.name,
+                self.start,
+                self.tracer.env.now,
+                dict(self.attrs),
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+            )
         )
 
     def close(self) -> None:
         self.__exit__(None, None, None)
 
+    def finish(self, **extra_attrs: Any) -> None:
+        """Close the span, merging in outcome attributes first."""
+        if not self._closed:
+            self.attrs.update(extra_attrs)
+        self.close()
+
 
 class Tracer:
-    """Collects spans and marks against an environment's clock."""
+    """Collects spans and marks against an environment's clock.
+
+    Also owns the run's :class:`~repro.obs.metrics.MetricsRegistry`
+    (created lazily on first access so ``simcore`` has no import-time
+    dependency on ``repro.obs``).
+    """
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.spans: list[Span] = []
         self.marks: list[Mark] = []
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._metrics: Optional["MetricsRegistry"] = None
 
-    def span(self, name: str, **attrs: Any) -> _OpenSpan:
-        """Open a span; close it via ``with`` or :meth:`_OpenSpan.close`.
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The run's metrics registry, sharing this tracer's clock."""
+        if self._metrics is None:
+            from repro.obs.metrics import MetricsRegistry
 
-        Note: spans opened across a process ``yield`` must be closed
-        explicitly (the ``with`` form only works for purely synchronous
-        sections); :meth:`record` is often simpler for yield-spanning
-        intervals.
+            self._metrics = MetricsRegistry(self.env)
+        return self._metrics
+
+    def _resolve_parent(self, parent: Parent) -> tuple[str, Optional[int]]:
+        """Trace id + parent span id for a new span: fresh trace if no parent."""
+        if parent is None:
+            return f"trace-{next(self._trace_ids)}", None
+        if isinstance(parent, (TraceContext, _OpenSpan)):
+            return parent.trace_id, parent.span_id
+        if isinstance(parent, Span):
+            if parent.trace_id is None or parent.span_id is None:
+                return f"trace-{next(self._trace_ids)}", None
+            return parent.trace_id, parent.span_id
+        raise TypeError(f"cannot parent a span on {parent!r}")
+
+    def span(self, name: str, parent: Parent = None, **attrs: Any) -> _OpenSpan:
+        """Open a span; close it via ``with``, ``close()`` or ``finish()``.
+
+        With no ``parent`` the span roots a fresh trace.  Note: spans
+        opened across a process ``yield`` must be closed explicitly
+        (the ``with`` form only works for purely synchronous sections);
+        :meth:`record` is often simpler for yield-spanning intervals.
         """
-        return _OpenSpan(self, name, attrs)
+        trace_id, parent_id = self._resolve_parent(parent)
+        return _OpenSpan(self, name, attrs, trace_id, next(self._span_ids), parent_id)
 
-    def record(self, name: str, start: float, end: float, **attrs: Any) -> Span:
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Parent = None,
+        **attrs: Any,
+    ) -> Span:
         """Record a completed span directly."""
-        span = Span(name, start, end, attrs)
+        trace_id, parent_id = self._resolve_parent(parent)
+        span = Span(
+            name, start, end, attrs,
+            trace_id=trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent_id,
+        )
         self.spans.append(span)
         return span
 
-    def mark(self, name: str, **attrs: Any) -> Mark:
+    def mark(self, name: str, parent: Parent = None, **attrs: Any) -> Mark:
         """Record an instantaneous mark at the current time."""
-        mark = Mark(name, self.env.now, attrs)
+        trace_id: Optional[str] = None
+        parent_id: Optional[int] = None
+        if parent is not None:
+            trace_id, parent_id = self._resolve_parent(parent)
+        mark = Mark(name, self.env.now, attrs, trace_id=trace_id, parent_id=parent_id)
         self.marks.append(mark)
         return mark
 
@@ -134,13 +271,70 @@ def _match(attrs: dict[str, Any], attr_filter: dict[str, Any]) -> bool:
     return all(attrs.get(k) == v for k, v in attr_filter.items())
 
 
-class NullTracer(Tracer):
-    """Tracer that drops everything — for hot paths when not measuring."""
+class _NullSpan:
+    """Shared inert open-span; context is None so children root nowhere."""
 
-    def __init__(self) -> None:  # noqa: D401 - no env needed
+    __slots__ = ()
+
+    context: Optional[TraceContext] = None
+    name = ""
+    start = 0.0
+    attrs: dict[str, Any] = {}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def finish(self, **extra_attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Tracer that drops everything — for hot paths when not measuring.
+
+    API-complete against :class:`Tracer`: context propagation is a
+    no-op (spans have no context, so children root nowhere and are
+    dropped anyway) and :attr:`metrics` is the shared no-op registry.
+    Instrumented code must behave identically under a ``NullTracer``.
+    """
+
+    def __init__(self, env: Optional["Environment"] = None) -> None:
+        self.env = env if env is not None else _FrozenClock()  # type: ignore[assignment]
         self.spans = _DropList()
         self.marks = _DropList()
-        self.env = _FrozenClock()
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._metrics = None
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        from repro.obs.metrics import NULL_METRICS
+
+        return NULL_METRICS
+
+    def span(self, name: str, parent: Parent = None, **attrs: Any) -> _OpenSpan:
+        return _NULL_SPAN  # type: ignore[return-value]
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        parent: Parent = None,
+        **attrs: Any,
+    ) -> Span:
+        return Span(name, start, end, attrs)
+
+    def mark(self, name: str, parent: Parent = None, **attrs: Any) -> Mark:
+        return Mark(name, self.env.now, attrs)
 
 
 class _DropList(list):
@@ -150,3 +344,7 @@ class _DropList(list):
 
 class _FrozenClock:
     now = 0.0
+
+
+#: Shared tracer for components constructed without one.
+NULL_TRACER = NullTracer()

@@ -12,12 +12,17 @@ from tests.analysis.conftest import rules_of
 
 def test_tables_parse_from_real_sources():
     checker = StateMachineChecker()
-    assert set(checker.tables) == {"JobState", "SubjobState", "RequestState"}
+    assert set(checker.tables) == {
+        "JobState", "SubjobState", "RequestState", "QueuePhase",
+    }
     job = checker.tables["JobState"]
     assert "PENDING" in job.transitions["UNSUBMITTED"]
     assert job.transitions["DONE"] == set()
     req = checker.tables["RequestState"]
     assert req.transitions["COMMITTING"] == {"RELEASED", "ABORTED", "TERMINATED"}
+    queue = checker.tables["QueuePhase"]
+    assert queue.transitions["QUEUED"] == {"GRANTED", "WITHDRAWN", "REFUSED"}
+    assert queue.transitions["GRANTED"] == set()
 
 
 def test_corrupted_transition_sequence_caught(run_checker):

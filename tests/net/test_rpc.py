@@ -190,3 +190,28 @@ class TestFaultPlan:
     def test_probability_validation(self, net):
         with pytest.raises(ValueError):
             random_loss(net, probability=1.5, rng=np.random.default_rng(0))
+
+
+class TestCorrelationIds:
+    """Correlation ids are per-port, so a run is reproducible in isolation."""
+
+    def test_ports_number_independently(self, net):
+        a = Port(net, Endpoint("client", "a"))
+        b = Port(net, Endpoint("client", "b"))
+        assert a.next_corr_id() == 1
+        assert a.next_corr_id() == 2
+        assert b.next_corr_id() == 1
+
+    def test_rpc_corr_ids_restart_per_port(self, env, net):
+        server = Port(net, Endpoint("server", "svc"))
+        client = Port(net, Endpoint("client", "cli"))
+        env.process(echo_server(env, server))
+
+        def caller(env):
+            yield from call(client, server.endpoint, "echo", "one")
+            yield from call(client, server.endpoint, "echo", "two")
+
+        env.run(env.process(caller(env)))
+        fresh = Port(net, Endpoint("client", "cli2"))
+        assert client.next_corr_id() == 3
+        assert fresh.next_corr_id() == 1

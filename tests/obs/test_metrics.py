@@ -1,0 +1,173 @@
+"""Unit tests for the deterministic metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    WindowedRate,
+)
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def registry(env):
+    return MetricsRegistry(env)
+
+
+class TestCounter:
+    def test_labelled_series_are_independent(self, registry):
+        c = registry.counter("jobs_total")
+        c.inc(site="RM1")
+        c.inc(2, site="RM2")
+        assert c.value(site="RM1") == 1
+        assert c.value(site="RM2") == 2
+        assert c.value(site="RM3") == 0
+        assert c.total() == 3
+
+    def test_label_order_is_irrelevant(self, registry):
+        c = registry.counter("x")
+        c.inc(a=1, b=2)
+        assert c.value(b=2, a=1) == 1
+
+    def test_counters_cannot_decrease(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert g.value() == 1
+
+    def test_high_water_survives_drain(self, registry):
+        g = registry.gauge("occupancy")
+        for _ in range(5):
+            g.inc()
+        for _ in range(5):
+            g.dec()
+        assert g.value() == 0
+        assert g.high_water() == 5
+
+
+class TestHistogram:
+    def test_bucketing_and_quantiles(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.05, 0.5, 0.5, 0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count() == 8
+        assert h.sum() == pytest.approx(556.6)
+        # Ranks: p25 falls in the 0.1 bucket, p50 in the 1.0 bucket.
+        assert h.quantile(0.25) == 0.1
+        assert h.quantile(0.50) == 1.0
+        # Beyond the last finite bucket the recorded max is returned.
+        assert h.quantile(1.0) == 500.0
+
+    def test_empty_quantile_is_zero(self, registry):
+        assert registry.histogram("lat").quantile(0.5) == 0.0
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 0.5))
+
+    def test_snapshot_has_cumulative_buckets(self, registry):
+        h = registry.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(99.0)
+        (series,) = h.snapshot()["values"]
+        assert [b["count"] for b in series["buckets"]] == [1, 2, 3]
+        assert series["buckets"][-1]["le"] == "+Inf"
+
+
+class TestWindowedRate:
+    def test_rate_over_simulated_window(self, env, registry):
+        r = registry.rate("sends", window=10.0)
+
+        def proc(env):
+            for _ in range(20):
+                r.tick()
+                yield env.timeout(1.0)
+
+        env.run(env.process(proc(env)))
+        # At t=20 the window [10, 20] holds the ticks at t=11..19 plus
+        # pruning of the boundary tick at t=10.
+        assert r.rate() == pytest.approx(0.9)
+
+    def test_zero_without_events(self, registry):
+        assert registry.rate("quiet").rate() == 0.0
+
+    def test_window_must_be_positive(self, env):
+        with pytest.raises(ValueError):
+            WindowedRate("bad", env, window=0.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_mismatch_is_an_error(self, registry):
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_deterministic(self, env):
+        def build(registry):
+            registry.counter("b").inc(site="RM2")
+            registry.counter("a").inc()
+            registry.histogram("h").observe(0.01)
+            registry.gauge("g").set(3)
+            return registry.snapshot()
+
+        assert build(MetricsRegistry(env)) == build(MetricsRegistry(env))
+
+    def test_snapshot_times_track_the_clock(self, env, registry):
+        def proc(env):
+            yield env.timeout(7.5)
+
+        env.run(env.process(proc(env)))
+        assert registry.snapshot()["time"] == 7.5
+
+    def test_names_sorted(self, registry):
+        registry.gauge("z")
+        registry.counter("a")
+        assert registry.names() == ["a", "z"]
+
+
+class TestNullRegistry:
+    def test_every_instrument_is_inert(self):
+        null = NullMetricsRegistry()
+        null.counter("x").inc(site="RM1")
+        null.gauge("x").set(5)
+        null.histogram("x").observe(1.0)
+        null.rate("x").tick()
+        assert null.counter("x").value() == 0.0
+        assert null.histogram("x").quantile(0.5) == 0.0
+        assert null.snapshot() == {"time": 0.0, "metrics": {}}
+        assert null.names() == []
+
+    def test_shared_singleton(self):
+        assert NULL_METRICS.counter("anything") is NULL_METRICS.gauge("other")
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        # Counter/Gauge classes usable standalone too.
+        c = Counter("standalone")
+        c.inc()
+        assert c.total() == 1
+        g = Gauge("standalone")
+        g.set(2)
+        assert g.high_water() == 2

@@ -1,0 +1,66 @@
+"""Queue-phase lifecycle of PendingAllocation handles."""
+
+import pytest
+
+from repro.errors import ReservationError, SchedulerError
+from repro.schedulers.base import NodeRequest
+from repro.schedulers.fcfs import FcfsScheduler
+from repro.schedulers.fork import ForkScheduler
+from repro.schedulers.reservation import ReservationScheduler
+from repro.schedulers.states import (
+    QUEUE_PHASE_TRANSITIONS,
+    QueuePhase,
+    check_queue_transition,
+)
+from repro.simcore import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestTable:
+    def test_queued_is_the_only_non_terminal(self):
+        for phase in QueuePhase:
+            assert phase.terminal == (phase is not QueuePhase.QUEUED)
+            if phase.terminal:
+                assert QUEUE_PHASE_TRANSITIONS[phase] == frozenset()
+
+    def test_illegal_transition_raises(self):
+        with pytest.raises(SchedulerError):
+            check_queue_transition(QueuePhase.GRANTED, QueuePhase.WITHDRAWN)
+        check_queue_transition(QueuePhase.QUEUED, QueuePhase.GRANTED)
+
+
+class TestLifecycles:
+    def test_fork_grants_immediately(self, env):
+        pending = ForkScheduler(env, 4).submit(NodeRequest(2))
+        assert pending.state is QueuePhase.GRANTED
+
+    def test_fcfs_queued_then_granted(self, env):
+        scheduler = FcfsScheduler(env, 4)
+        first = scheduler.submit(NodeRequest(4))
+        second = scheduler.submit(NodeRequest(4))
+        assert first.state is QueuePhase.GRANTED
+        assert second.state is QueuePhase.QUEUED
+        first.event.value.release()
+        assert second.state is QueuePhase.GRANTED
+
+    def test_cancel_marks_withdrawn(self, env):
+        scheduler = FcfsScheduler(env, 4)
+        scheduler.submit(NodeRequest(4))
+        waiting = scheduler.submit(NodeRequest(1))
+        assert waiting.cancel()
+        assert waiting.state is QueuePhase.WITHDRAWN
+
+    def test_dead_reservation_marks_refused(self, env):
+        scheduler = ReservationScheduler(env, 4)
+        pending = scheduler.submit(
+            NodeRequest(1, reservation_id="resv-never-existed")
+        )
+        scheduler._schedule_pass()
+        assert pending.state is QueuePhase.REFUSED
+        assert not pending.event.ok
+        assert isinstance(pending.event.value, ReservationError)
+        pending.event.defused = True

@@ -72,11 +72,14 @@ class TestTracer:
         assert times == sorted(times)
 
     def test_fingerprint_order_insensitive(self, env):
+        # Storage order must not matter; allocation order (which fixes
+        # span ids) is part of a trace's identity and is kept equal.
         t1, t2 = Tracer(env), Tracer(env)
         t1.record("x", 0, 1)
         t1.record("y", 1, 2)
-        t2.record("y", 1, 2)
         t2.record("x", 0, 1)
+        t2.record("y", 1, 2)
+        t2.spans.reverse()
         assert t1.fingerprint() == t2.fingerprint()
 
     def test_fingerprint_detects_difference(self, env):
