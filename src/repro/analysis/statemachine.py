@@ -40,6 +40,7 @@ DEFAULT_TABLE_MODULES = (
     "repro.gram.states",
     "repro.core.states",
     "repro.schedulers.states",
+    "repro.resilience.states",
 )
 
 #: Call attributes treated as checked transition applications.

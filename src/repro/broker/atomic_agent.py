@@ -3,8 +3,10 @@
 "The only way of dealing with a request failure is to formulate and
 resubmit a revised co-allocation request, based on more current
 information" (§3.2).  This agent retries the whole transaction after
-each abort, optionally replacing the site blamed for the failure with a
-fresh candidate from the information service — the best an atomic
+each abort under a :class:`~repro.resilience.RetryPolicy` — bounded
+attempts with (optionally jittered) backoff between resubmissions —
+optionally replacing the site blamed for the failure with a fresh
+candidate from the information service.  That is the best an atomic
 co-allocator can do, and the baseline the application experiments
 compare DUROC against.
 """
@@ -13,26 +15,36 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+import numpy as np
+
 from repro.broker.base import AgentOutcome
 from repro.core.atomic import Grab
 from repro.core.request import CoAllocationRequest
-from repro.errors import AllocationAborted
+from repro.errors import AllocationAborted, RetryExhausted
 from repro.mds.directory import Directory
+from repro.resilience import RetryEpisode, RetryPolicy
 
 
 class AtomicAgent:
-    """Submit atomically; on failure, restart from scratch."""
+    """Submit atomically; on failure, back off and restart from scratch."""
 
     def __init__(
         self,
         grab: Grab,
         max_attempts: int = 3,
         directory: Optional[Directory] = None,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
-        if max_attempts < 1:
-            raise ValueError("max_attempts must be at least 1")
+        if retry is None:
+            # Legacy shape: ``max_attempts`` immediate resubmissions.
+            retry = RetryPolicy(
+                max_attempts=max_attempts, base_delay=0.0, jitter=0.0
+            )
         self.grab = grab
-        self.max_attempts = max_attempts
+        self.policy = retry
+        self.max_attempts = retry.max_attempts
+        self.rng = rng
         self.directory = directory
 
     def allocate(self, request: CoAllocationRequest) -> Generator:
@@ -42,24 +54,31 @@ class AtomicAgent:
         outcome = AgentOutcome(success=False)
         current = CoAllocationRequest(list(request))
         blamed: set[str] = set()
+        episode = RetryEpisode(
+            env, self.policy, self.rng, operation="grab.allocate"
+        )
 
-        for attempt in range(1, self.max_attempts + 1):
-            outcome.attempts = attempt
+        while True:
+            outcome.attempts = episode.attempt
             try:
                 result = yield from self.grab.allocate(current)
             except AllocationAborted as exc:
-                reason = str(exc)
-                outcome.log.append(f"attempt {attempt} aborted: {reason}")
-                current = self._revise(current, reason, blamed, outcome)
-                if current is None:
-                    outcome.failure = f"no replacement candidates: {reason}"
+                outcome.log.append(f"attempt {episode.attempt} aborted: {exc}")
+                revised = self._revise(current, exc, blamed, outcome)
+                if revised is None:
+                    outcome.failure = f"no replacement candidates: {exc}"
+                    break
+                current = revised
+                try:
+                    yield from episode.backoff(exc)
+                except RetryExhausted as limit:
+                    outcome.failure = str(limit)
                     break
                 continue
+            episode.succeeded()
             outcome.success = True
             outcome.result = result
             break
-        else:
-            outcome.failure = outcome.failure or "attempt limit exceeded"
 
         if not outcome.success and outcome.failure is None:
             outcome.failure = outcome.log[-1] if outcome.log else "failed"
@@ -69,13 +88,17 @@ class AtomicAgent:
     def _revise(
         self,
         request: CoAllocationRequest,
-        reason: str,
+        cause: AllocationAborted,
         blamed: set[str],
         outcome: AgentOutcome,
     ) -> Optional[CoAllocationRequest]:
-        """Build the resubmission, replacing the site named in ``reason``."""
-        failed_idx = self._parse_failed_index(reason, request)
-        if failed_idx is None or self.directory is None:
+        """Build the resubmission, replacing the subjob the abort blamed."""
+        failed_idx = cause.subjob
+        if (
+            failed_idx is None
+            or not 0 <= failed_idx < len(request)
+            or self.directory is None
+        ):
             return CoAllocationRequest(list(request))  # plain retry
         spec = request[failed_idx]
         site_name = spec.contact.split(":")[0]
@@ -94,14 +117,3 @@ class AtomicAgent:
             f"replaced {spec.contact} with {replacement_contact}"
         )
         return revised
-
-    @staticmethod
-    def _parse_failed_index(reason: str, request: CoAllocationRequest):
-        """Extract the failed subjob index from an abort reason."""
-        # Abort reasons look like "required subjob 3 failed: ...".
-        for token in reason.replace(":", " ").split():
-            if token.isdigit():
-                idx = int(token)
-                if 0 <= idx < len(request):
-                    return idx
-        return None

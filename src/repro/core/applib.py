@@ -28,6 +28,16 @@ from repro.simcore.tracing import OBS_CONTEXT_PARAM, TraceContext
 PARAM_CONTACT = "duroc.contact"
 PARAM_SLOT = "duroc.slot"
 
+#: Check-in retransmission: the barrier messages ride the same lossy
+#: datagram network as everything else, so a process re-sends its
+#: check-in until the co-allocator's verdict (RELEASE/ABORT) arrives.
+#: The co-allocator records check-ins idempotently and answers
+#: retransmissions from released slots with the configuration again.
+CHECKIN_RESEND_INTERVAL = 2.0
+
+#: Resend cap: past this the process gives up on the co-allocator.
+CHECKIN_MAX_RESENDS = 60
+
 
 def barrier(
     ctx: ProcessContext,
@@ -51,19 +61,28 @@ def barrier(
         )
     contact = ctx.params[PARAM_CONTACT]
     slot_id = ctx.params[PARAM_SLOT]
-    port.send(
-        contact,
-        CHECKIN,
-        payload={
-            "slot_id": slot_id,
-            "rank": ctx.rank,
-            "ok": ok,
-            "reason": reason,
-            "endpoint": port.endpoint,
-        },
-        ctx=trace,
-    )
-    message = yield port.recv(filter=lambda m: m.kind in (RELEASE, ABORT))
+    payload = {
+        "slot_id": slot_id,
+        "rank": ctx.rank,
+        "ok": ok,
+        "reason": reason,
+        "endpoint": port.endpoint,
+    }
+    port.send(contact, CHECKIN, payload=payload, ctx=trace)
+    resends = 0
+    while True:
+        get = port.recv(filter=lambda m: m.kind in (RELEASE, ABORT))
+        timer = ctx.env.timeout(CHECKIN_RESEND_INTERVAL)
+        yield get | timer
+        if get.triggered:
+            timer.cancelled = True
+            message = get.value
+            break
+        get.cancel()
+        resends += 1
+        if resends > CHECKIN_MAX_RESENDS:
+            raise StopProcess(("failed", "no barrier verdict arrived"))
+        port.send(contact, CHECKIN, payload=payload, ctx=trace)
     if message.kind == ABORT:
         raise StopProcess(("aborted", message.payload.get("reason")))
     if not ok:  # pragma: no cover - the co-allocator never releases failures

@@ -19,12 +19,15 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
+import numpy as np
+
 from repro.core.coallocator import Duroc, DurocJob, DurocResult
 from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
 from repro.errors import AllocationAborted
 from repro.gsi.auth import AuthConfig
 from repro.gsi.credentials import Credential
 from repro.net.network import Network
+from repro.resilience import BreakerBoard, RetryPolicy
 from repro.simcore.tracing import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,6 +47,9 @@ class Grab:
         default_subjob_timeout: float = 300.0,
         submit_timeout: float = 60.0,
         tracer: Optional[Tracer] = None,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         self._duroc = Duroc(
             network,
@@ -53,6 +59,9 @@ class Grab:
             default_subjob_timeout=default_subjob_timeout,
             submit_timeout=submit_timeout,
             tracer=tracer,
+            retry=retry,
+            rng=rng,
+            breakers=breakers,
         )
 
     @property

@@ -91,6 +91,9 @@ class BarrierManager:
         self.tables: dict[int, BarrierTable] = {}
         #: (slot_id, rank) -> release time, for barrier-wait statistics.
         self.release_times: dict[tuple[int, int], float] = {}
+        #: slot_id -> released base payload, kept so retransmitted
+        #: check-ins (the process's RELEASE was lost) can be answered.
+        self._release_base: dict[int, dict] = {}
 
     def open_table(self, slot_id: int, count: int) -> BarrierTable:
         table = BarrierTable(slot_id, count)
@@ -134,6 +137,7 @@ class BarrierManager:
     def release_slot(self, slot_id: int, base: dict) -> int:
         """Send the release message to every process of one slot."""
         table = self.tables[slot_id]
+        self._release_base[slot_id] = base
         released = 0
         for rank, checkin in sorted(table.checkins.items()):
             if not checkin.ok:
@@ -147,6 +151,19 @@ class BarrierManager:
             )
             released += 1
         return released
+
+    def resend_release(self, checkin: Checkin) -> bool:
+        """Answer a retransmitted check-in from an already-released slot.
+
+        The original RELEASE was lost in flight; send the stored
+        configuration again (idempotent at the receiver: the process is
+        still blocked at the barrier).
+        """
+        base = self._release_base.get(checkin.slot_id)
+        if base is None:
+            return False
+        self._send(checkin.endpoint, RELEASE, dict(base, my_rank=checkin.rank))
+        return True
 
     def abort_slot(self, slot_id: int, reason: str) -> int:
         """Tell every checked-in process of one slot to terminate."""

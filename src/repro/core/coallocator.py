@@ -30,6 +30,8 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
+import numpy as np
+
 from repro.core.barrier import CHECKIN, ABORT, BarrierManager, Checkin
 from repro.core.callbacks import CallbackDispatcher, DurocEvent, Handler, Notification
 from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
@@ -43,10 +45,12 @@ from repro.core.applib import PARAM_CONTACT, PARAM_SLOT
 from repro.errors import (
     AllocationAborted,
     AuthenticationError,
+    CircuitOpen,
     GramError,
     HostDown,
     RPCTimeout,
     RequestStateError,
+    RetryExhausted,
 )
 from repro.gram.client import CallbackListener, GramClient, JobHandle
 from repro.gram.states import JobState
@@ -55,6 +59,7 @@ from repro.gsi.credentials import Credential
 from repro.net.network import Network
 from repro.net.address import Endpoint
 from repro.net.transport import Port, ephemeral_endpoint
+from repro.resilience import BreakerBoard, Deadline, RetryPolicy
 from repro.simcore.events import Event
 from repro.simcore.process import ProcessGenerator
 from repro.simcore.resources import Store
@@ -150,6 +155,8 @@ class DurocJob:
         self.interactive_handler: Optional[InteractiveHandler] = None
         self.state = RequestState.ALLOCATING
         self.abort_reason: Optional[str] = None
+        #: Index of the subjob whose failure triggered the abort, if one.
+        self.abort_subjob: Optional[int] = None
         self.started_at = self.env.now
         self.released_at: Optional[float] = None
 
@@ -251,7 +258,10 @@ class DurocJob:
         """
         while True:
             if self.state.terminal:
-                raise AllocationAborted(self.abort_reason or self.state.value)
+                raise AllocationAborted(
+                    self.abort_reason or self.state.value,
+                    subjob=self.abort_subjob,
+                )
             value = predicate(self)
             if value:
                 return value
@@ -268,7 +278,9 @@ class DurocJob:
         request was killed) before release.
         """
         if self.state.terminal:
-            raise AllocationAborted(self.abort_reason or self.state.value)
+            raise AllocationAborted(
+                self.abort_reason or self.state.value, subjob=self.abort_subjob
+            )
         if self.state is not RequestState.ALLOCATING:
             raise RequestStateError(f"cannot commit in state {self.state.value}")
         self._transition(RequestState.COMMITTING)
@@ -350,11 +362,20 @@ class DurocJob:
     # Control (§3.4): kill the ensemble as a collective unit
     # ------------------------------------------------------------------
 
-    def kill(self, reason: str = "killed by application") -> None:
-        """Terminate every subjob and the request (fire-and-forget)."""
+    def kill(
+        self,
+        reason: str = "killed by application",
+        subjob: Optional[int] = None,
+    ) -> None:
+        """Terminate every subjob and the request (fire-and-forget).
+
+        ``subjob`` optionally records which subjob's failure forced the
+        kill, for agents that revise-and-resubmit.
+        """
         if self.state.terminal:
             return
         self.abort_reason = reason
+        self.abort_subjob = subjob
         self._transition(RequestState.TERMINATED)
         self._teardown(reason)
         self._emit(DurocEvent.REQUEST_ABORTED, None, reason)
@@ -442,7 +463,14 @@ class DurocJob:
                 timeout=self.duroc.submit_timeout,
                 ctx=span.context,
             )
-        except (GramError, RPCTimeout, AuthenticationError, HostDown) as exc:
+        except (
+            GramError,
+            RPCTimeout,
+            AuthenticationError,
+            HostDown,
+            RetryExhausted,
+            CircuitOpen,
+        ) as exc:
             span.finish(ok=False)
             if slot.state is SubjobState.SUBMITTING:
                 self._slot_failed(slot, str(exc), DurocEvent.SUBJOB_FAILED)
@@ -459,6 +487,11 @@ class DurocJob:
         )
         slot.transition(SubjobState.SUBMITTED, env.now)
         self._emit(DurocEvent.SUBJOB_SUBMITTED, slot, handle.job_id)
+        # Under a retry policy the submit reply may arrive long after
+        # the job actually started: the processes may have fully
+        # checked in while the slot was still SUBMITTING.  Settle the
+        # barrier now rather than waiting for a retransmission.
+        self._maybe_checkin(slot)
         self._kick()
 
     def _watchdog(self, slot: SubjobSlot) -> ProcessGenerator:
@@ -469,7 +502,8 @@ class DurocJob:
         finished simulation alive.
         """
         timeout = slot.spec.timeout or self.duroc.default_subjob_timeout
-        deadline = self.env.timeout(timeout)
+        deadline = Deadline(self.env, timeout)
+        timer = self.env.timeout(timeout)
         waiting_states = (
             SubjobState.PENDING,
             SubjobState.SUBMITTING,
@@ -477,16 +511,16 @@ class DurocJob:
         )
         while True:
             if self.state.terminal or slot.state not in waiting_states:
-                deadline.cancelled = True
+                timer.cancelled = True
                 return
             kick = self.env.event()
             self._waiters.append(kick)
-            yield deadline | kick
-            if deadline.processed:
+            yield timer | kick
+            if timer.processed:
                 break
         if self.state.terminal:
             return
-        if slot.state in waiting_states:
+        if deadline.expired and slot.state in waiting_states:
             self._slot_failed(
                 slot,
                 f"no check-in within {timeout:g}s",
@@ -498,9 +532,14 @@ class DurocJob:
 
         A crashed machine takes its job manager with it, so no FAILED
         callback ever arrives; like the real DUROC, we poll each job
-        contact and treat lost contact as subjob failure.
+        contact and treat lost contact as subjob failure.  Contact
+        counts as lost only after ``heartbeat_misses`` *consecutive*
+        failed polls, so a lossy network eating one status reply does
+        not take a healthy subjob down.
         """
         interval = self.duroc.heartbeat_interval
+        allowed_misses = self.duroc.heartbeat_misses
+        misses: dict[int, int] = {}
 
         def pollable() -> list[SubjobSlot]:
             return [
@@ -520,16 +559,23 @@ class DurocJob:
             for slot in pollable():
                 try:
                     state = yield from self.duroc.gram.status(
-                        slot.gram_handle, timeout=interval
+                        slot.gram_handle, timeout=interval,
+                        retry=self.duroc.retry,
                     )
-                except (RPCTimeout, HostDown):
-                    if slot.state.live and not self.state.terminal:
+                except (RPCTimeout, HostDown, RetryExhausted, CircuitOpen):
+                    misses[slot.slot_id] = misses.get(slot.slot_id, 0) + 1
+                    if (
+                        misses[slot.slot_id] >= allowed_misses
+                        and slot.state.live
+                        and not self.state.terminal
+                    ):
                         self._slot_failed(
                             slot,
                             "lost contact with job manager",
                             DurocEvent.SUBJOB_FAILED,
                         )
                     continue
+                misses.pop(slot.slot_id, None)
                 self._on_gram(slot, state, slot.gram_handle.failure_reason)
 
     # -- barrier listener -------------------------------------------------------
@@ -556,6 +602,14 @@ class DurocJob:
             if self.state.terminal:
                 self._send_abort(checkin.endpoint, self.abort_reason or "aborted")
                 continue
+            if slot.state is SubjobState.RELEASED:
+                # A retransmitted check-in whose RELEASE was lost: send
+                # the stored configuration again.
+                self.barrier.resend_release(checkin)
+                continue
+            table_before = self.barrier.tables.get(checkin.slot_id)
+            if table_before is not None and checkin.rank in table_before.checkins:
+                continue  # duplicate of an already-recorded check-in
             self.tracer.mark(
                 "duroc.checkin",
                 parent=message.trace_ctx,
@@ -574,15 +628,27 @@ class DurocJob:
                     DurocEvent.SUBJOB_FAILED,
                 )
                 continue
-            if table.all_ok and slot.state is SubjobState.SUBMITTED:
-                slot.transition(SubjobState.CHECKED_IN, self.env.now)
-                self._emit(DurocEvent.SUBJOB_CHECKIN, slot, None)
-                if (
-                    self.state is RequestState.RELEASED
-                    and slot.spec.start_type is SubjobType.OPTIONAL
-                ):
-                    self._release_latecomer(slot)
-                self._kick()
+            self._maybe_checkin(slot)
+
+    def _maybe_checkin(self, slot: SubjobSlot) -> None:
+        """Transition ``slot`` to CHECKED_IN once its barrier settles.
+
+        Called both when a check-in lands and when a (retried) submit
+        finally reports SUBMITTED — whichever happens last.
+        """
+        table = self.barrier.tables.get(slot.slot_id)
+        if table is None or not table.all_ok:
+            return
+        if slot.state is not SubjobState.SUBMITTED:
+            return
+        slot.transition(SubjobState.CHECKED_IN, self.env.now)
+        self._emit(DurocEvent.SUBJOB_CHECKIN, slot, None)
+        if (
+            self.state is RequestState.RELEASED
+            and slot.spec.start_type is SubjobType.OPTIONAL
+        ):
+            self._release_latecomer(slot)
+        self._kick()
 
     def _send_abort(self, endpoint: Endpoint, reason: str) -> None:
         try:
@@ -638,9 +704,15 @@ class DurocJob:
             # a commit has been issued or not."
             if not self.state.terminal:
                 if was_released or self.state is RequestState.RELEASED:
-                    self.kill(f"required subjob {slot.index} failed: {reason}")
+                    self.kill(
+                        f"required subjob {slot.index} failed: {reason}",
+                        subjob=slot.index,
+                    )
                 else:
-                    self._abort(f"required subjob {slot.index} failed: {reason}")
+                    self._abort(
+                        f"required subjob {slot.index} failed: {reason}",
+                        subjob=slot.index,
+                    )
             return
         if start_type is SubjobType.INTERACTIVE and not was_released:
             # "...results in a callback to the application, which can
@@ -664,7 +736,7 @@ class DurocJob:
         def canceller(env: "Environment") -> ProcessGenerator:
             try:
                 yield from self.duroc.gram.cancel(handle, timeout=30.0)
-            except (RPCTimeout, GramError, HostDown):
+            except (RPCTimeout, GramError, HostDown, RetryExhausted, CircuitOpen):
                 pass  # the site may be dead; nothing more we can do
 
         self.env.process(canceller(self.env), name=f"{self.job_id}:cancel")
@@ -674,11 +746,12 @@ class DurocJob:
         slot.transition(state, self.env.now)
         self.barrier.discard_table(slot.slot_id)
 
-    def _abort(self, reason: str) -> None:
+    def _abort(self, reason: str, subjob: Optional[int] = None) -> None:
         """Pre-release failure of the whole request."""
         if self.state.terminal:
             return
         self.abort_reason = reason
+        self.abort_subjob = subjob
         self._transition(RequestState.ABORTED)
         self._teardown(reason)
         self._emit(DurocEvent.REQUEST_ABORTED, None, reason)
@@ -751,14 +824,28 @@ class Duroc:
         default_subjob_timeout: float = 300.0,
         submit_timeout: float = 60.0,
         heartbeat_interval: float = 1.0,
+        heartbeat_misses: int = 1,
         sequential_submission: bool = True,
         tracer: Optional[Tracer] = None,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         self.network = network
         self.env: "Environment" = network.env
         self.host = host
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.gram = GramClient(network, host, credential, auth, tracer=self.tracer)
+        #: Retry policy for GRAM submissions (None = single attempt).
+        #: Backoff jitter draws from ``rng`` — pass a seeded registry
+        #: stream (``Grid.duroc()`` does) for reproducible retries.
+        self.retry = retry
+        if retry is not None and breakers is None:
+            breakers = BreakerBoard(network.env, metrics=self.tracer.metrics)
+        self.breakers = breakers
+        self.gram = GramClient(
+            network, host, credential, auth, tracer=self.tracer,
+            retry=retry, rng=rng, breakers=breakers,
+        )
         self.default_subjob_timeout = default_subjob_timeout
         self.submit_timeout = submit_timeout
         #: The paper's DUROC submits subjobs strictly sequentially
@@ -766,6 +853,14 @@ class Duroc:
         self.sequential_submission = sequential_submission
         #: Seconds between job-manager liveness polls (0 disables).
         self.heartbeat_interval = heartbeat_interval
+        #: Consecutive failed polls before a subjob is declared lost.
+        #: The default (1) is the legacy fail-fast behaviour; raise it
+        #: on lossy networks so one eaten status reply is not death.
+        if heartbeat_misses < 1:
+            raise ValueError(
+                f"heartbeat_misses must be >= 1, got {heartbeat_misses!r}"
+            )
+        self.heartbeat_misses = heartbeat_misses
         self.jobs: list[DurocJob] = []
         self._job_counter = itertools.count(1)
 

@@ -6,9 +6,16 @@ Protocol-level failures (a denied allocation, a failed authentication)
 are *also* modeled as values/states where the paper's protocol calls for
 it; exceptions are reserved for misuse of the API and for propagating
 failures into application processes.
+
+Failure-path errors carry *structured* fields (endpoint, elapsed time,
+attempt counts, subjob indices) so that recovery code — the DUROC
+co-allocator, the broker agents, the resilience layer — can match on
+types and read attributes instead of parsing message strings.
 """
 
 from __future__ import annotations
+
+from typing import Any, Optional
 
 
 class ReproError(Exception):
@@ -33,7 +40,29 @@ class NetworkError(ReproError):
 
 
 class RPCTimeout(NetworkError):
-    """An RPC did not receive a reply within its timeout."""
+    """An RPC did not receive a reply within its timeout.
+
+    Carries the call's coordinates so retry/breaker logic can act on
+    them without string parsing: ``endpoint`` (the remote), ``kind``
+    (the operation), ``timeout`` (the budget that elapsed), and
+    ``attempts`` (how many tries a retrying caller made; 1 for a bare
+    call).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        endpoint: Any = None,
+        kind: Optional[str] = None,
+        timeout: Optional[float] = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.kind = kind
+        self.timeout = timeout
+        self.attempts = attempts
 
 
 class HostDown(NetworkError):
@@ -42,6 +71,25 @@ class HostDown(NetworkError):
 
 class AuthenticationError(ReproError):
     """GSI mutual authentication failed."""
+
+
+class AuthTimeout(AuthenticationError):
+    """The GSI handshake timed out (lost message, dead peer).
+
+    Distinct from a denial so retry logic can treat it as transient;
+    ``endpoint`` and ``timeout`` describe the stalled exchange.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        endpoint: Any = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.timeout = timeout
 
 
 class AuthorizationError(ReproError):
@@ -61,7 +109,93 @@ class RSLValidationError(RSLError):
 
 
 class GramError(ReproError):
-    """A GRAM request failed at the local resource manager."""
+    """A GRAM request failed at the local resource manager.
+
+    ``contact`` names the resource manager and ``payload`` carries the
+    remote refusal verbatim (when the failure was a remote answer
+    rather than a local condition).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        contact: Optional[str] = None,
+        payload: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.contact = contact
+        self.payload = payload
+
+
+class ResilienceError(ReproError):
+    """Base class for failures raised by the resilience layer."""
+
+
+class RetryExhausted(ResilienceError):
+    """A retried operation failed on every permitted attempt.
+
+    ``last_error`` is the exception of the final attempt; ``attempts``
+    and ``elapsed`` describe the whole retry episode against
+    ``endpoint`` (which may be None for non-RPC operations).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int,
+        elapsed: float,
+        endpoint: Any = None,
+        last_error: Optional[BaseException] = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.endpoint = endpoint
+        self.last_error = last_error
+
+
+class DeadlineExceeded(ResilienceError):
+    """An operation ran past its absolute deadline.
+
+    ``deadline`` is the absolute simulated time that passed; ``elapsed``
+    is how long the operation had been running when it was cut off.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline: Optional[float] = None,
+        elapsed: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+
+
+class CircuitOpen(ResilienceError):
+    """A call was refused because the endpoint's circuit breaker is open.
+
+    ``endpoint`` identifies the breaker; ``retry_at`` is the simulated
+    time at which the breaker will next admit a probe.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        endpoint: Any = None,
+        retry_at: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.endpoint = endpoint
+        self.retry_at = retry_at
+
+
+class FaultSpecError(ReproError):
+    """A declarative fault specification is invalid for the target grid."""
 
 
 class SchedulerError(ReproError):
@@ -85,7 +219,17 @@ class SubjobFailed(CoAllocationError):
 
 
 class AllocationAborted(CoAllocationError):
-    """The co-allocation was aborted (required subjob failed, kill, ...)."""
+    """The co-allocation was aborted (required subjob failed, kill, ...).
+
+    ``subjob`` is the index of the subjob whose failure triggered the
+    abort (None when the abort had no single culprit — e.g. an explicit
+    kill); agents use it to revise and resubmit without parsing the
+    reason text.
+    """
+
+    def __init__(self, message: str, *, subjob: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.subjob = subjob
 
 
 class CommitFailed(CoAllocationError):

@@ -12,7 +12,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.errors import GramError, RPCTimeout
+import numpy as np
+
+from repro.errors import AuthTimeout, GramError, HostDown, RPCTimeout
 from repro.gram.gatekeeper import GATEKEEPER_PORT, SUBMIT
 from repro.gram.jobmanager import CALLBACK, CANCEL, REGISTER, STATUS, UNREGISTER
 from repro.gram.states import JobState
@@ -22,6 +24,7 @@ from repro.net.address import Endpoint
 from repro.net.network import Network
 from repro.net.rpc import RPCError, call
 from repro.net.transport import Port, ephemeral_endpoint
+from repro.resilience import BreakerBoard, CircuitBreaker, RetryPolicy, retrying
 from repro.rsl.ast import Specification
 from repro.rsl.printer import unparse
 from repro.simcore.tracing import NULL_TRACER, TraceContext, Tracer
@@ -30,6 +33,10 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
 
 _client_seq = itertools.count(1)
+
+#: Transient submit failures: a lost reply, a dead peer that may come
+#: back, or a GSI handshake that never completed.
+SUBMIT_RETRY_ON = (RPCTimeout, HostDown, AuthTimeout)
 
 
 @dataclass
@@ -124,6 +131,9 @@ class GramClient:
         credential: Credential,
         auth: Optional[AuthConfig] = None,
         tracer: Optional[Tracer] = None,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[np.random.Generator] = None,
+        breakers: Optional[BreakerBoard] = None,
     ) -> None:
         self.network = network
         self.env: "Environment" = network.env
@@ -131,9 +141,21 @@ class GramClient:
         self.credential = credential
         self.auth = auth or AuthConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Default retry policy for ``submit`` (None = single attempt,
+        #: the pre-resilience behaviour).  Jitter draws come from
+        #: ``rng`` — pass a seeded registry stream for reproducibility.
+        self.retry = retry
+        self.rng = rng
+        #: Per-gatekeeper circuit breakers (None = no fail-fast).
+        self.breakers = breakers
 
     def _fresh_port(self) -> Port:
         return Port(self.network, ephemeral_endpoint(self.host, "gram"))
+
+    def _breaker(self, endpoint: Endpoint) -> Optional[CircuitBreaker]:
+        if self.breakers is None:
+            return None
+        return self.breakers.breaker(endpoint)
 
     # -- API --------------------------------------------------------------
 
@@ -145,27 +167,38 @@ class GramClient:
         params: Optional[dict[str, Any]] = None,
         timeout: Optional[float] = None,
         ctx: Optional[TraceContext] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         """Submit a request; returns a :class:`JobHandle` or raises
-        :class:`GramError` / :class:`~repro.errors.RPCTimeout`.
+        :class:`GramError` / :class:`~repro.errors.RPCTimeout` (or
+        :class:`~repro.errors.RetryExhausted` under a retry policy).
 
         The call spans mutual authentication plus gatekeeper processing;
         it returns when the gatekeeper has created the job manager —
         job *activation* arrives later via callback or status polls.
         ``ctx`` parents the client-side ``gram.submit`` span (and, via
         the wire, everything the gatekeeper does for this request).
+
+        ``retry`` (default: the client's policy) bounds re-submission
+        on transient failures.  Every attempt carries the same
+        ``submission_id``, which the gatekeeper deduplicates — a retry
+        whose predecessor lost only the *reply* gets the original job
+        back instead of a duplicate.
         """
-        port = self._fresh_port()
         dst = contact_endpoint(contact)
+        rsl_text = rsl if isinstance(rsl, str) else unparse(rsl)
+        submission_id = f"{self.host}/sub{next(_client_seq)}"
+        policy = retry if retry is not None else self.retry
         span = self.tracer.span("gram.submit", parent=ctx, contact=contact)
-        try:
+
+        def attempt():
+            port = self._fresh_port()
             session = yield from initiate(
                 port, dst, self.credential, self.auth, timeout=timeout,
                 ctx=span.context,
             )
-            rsl_text = rsl if isinstance(rsl, str) else unparse(rsl)
             try:
-                payload = yield from call(
+                return (yield from call(
                     port,
                     dst,
                     SUBMIT,
@@ -174,14 +207,33 @@ class GramClient:
                         "callback": callback,
                         "params": dict(params or {}),
                         "session": session.session_id,
+                        "submission_id": submission_id,
                     },
                     timeout=timeout,
                     ctx=span.context,
-                )
+                ))
             except RPCError as exc:
                 raise GramError(
-                    f"submit to {contact} refused: {exc.payload}"
+                    f"submit to {contact} refused: {exc.payload}",
+                    contact=contact,
+                    payload=exc.payload,
                 ) from None
+
+        try:
+            if policy is None and self.breakers is None:
+                payload = yield from attempt()
+            else:
+                payload = yield from retrying(
+                    self.env,
+                    policy if policy is not None else RetryPolicy.none(),
+                    attempt,
+                    rng=self.rng,
+                    retry_on=SUBMIT_RETRY_ON,
+                    operation="gram.submit",
+                    endpoint=dst,
+                    metrics=self.tracer.metrics,
+                    breaker=self._breaker(dst),
+                )
         except BaseException:
             span.finish(ok=False)
             raise
@@ -193,10 +245,33 @@ class GramClient:
         span.finish(ok=True, job=handle.job_id)
         return handle
 
-    def status(self, handle: JobHandle, timeout: Optional[float] = None):
-        """Poll the job manager; updates and returns the handle's state."""
-        port = self._fresh_port()
-        payload = yield from call(port, handle.manager, STATUS, timeout=timeout)
+    def status(
+        self,
+        handle: JobHandle,
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        """Poll the job manager; updates and returns the handle's state.
+
+        ``retry`` (explicit only — status is not retried by default)
+        re-polls on lost replies so a lossy network does not read as a
+        dead job manager.
+        """
+
+        def attempt():
+            port = self._fresh_port()
+            return (yield from call(port, handle.manager, STATUS, timeout=timeout))
+
+        if retry is None:
+            payload = yield from attempt()
+        else:
+            payload = yield from retrying(
+                self.env, retry, attempt,
+                rng=self.rng,
+                operation="gram.status",
+                endpoint=handle.manager,
+                metrics=self.tracer.metrics,
+            )
         handle.update(payload["state"], payload.get("reason"), self.env.now)
         return handle.state
 
@@ -266,6 +341,7 @@ class GramClient:
             if deadline is not None and self.env.now >= deadline:
                 raise GramError(
                     f"job {handle.job_id} did not reach {want.value} "
-                    f"within {timeout:g}s (last state {state.value})"
+                    f"within {timeout:g}s (last state {state.value})",
+                    contact=str(handle.manager),
                 )
             yield self.env.timeout(poll)

@@ -77,6 +77,10 @@ class Gatekeeper:
         self.endpoint = self.port.endpoint
         #: Job managers created by this gatekeeper, by job id.
         self.job_managers: dict[str, JobManager] = {}
+        #: Accepted submissions by client submission id: a retried
+        #: submit whose predecessor lost only the reply is answered
+        #: from this cache instead of creating a duplicate job.
+        self._submissions: dict[str, dict] = {}
         self._job_counter = 0
         self.listener = env.process(self._listen(), name=f"gk:{machine.name}")
 
@@ -145,6 +149,13 @@ class Gatekeeper:
         request = get.value
         ctx = request.trace_ctx or ctx
 
+        submission_id = request.payload.get("submission_id")
+        if submission_id is not None and submission_id in self._submissions:
+            # Idempotent resubmission: the job already exists.
+            reply_ok(self.port, request, payload=self._submissions[submission_id])
+            self._count_submit("duplicate")
+            return
+
         misc_start = env.now
         try:
             spec = self._parse_request(request.payload["rsl"])
@@ -192,11 +203,10 @@ class Gatekeeper:
         )
         self.job_managers[job.job_id] = manager
         self._count_submit("accepted")
-        reply_ok(
-            self.port,
-            request,
-            payload={"job_id": job.job_id, "manager": manager.contact.manager},
-        )
+        payload = {"job_id": job.job_id, "manager": manager.contact.manager}
+        if submission_id is not None:
+            self._submissions[submission_id] = payload
+        reply_ok(self.port, request, payload=payload)
 
     def _parse_request(self, rsl) -> Conjunction:
         spec = parse(rsl) if isinstance(rsl, str) else rsl

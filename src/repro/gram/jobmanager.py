@@ -176,6 +176,10 @@ class JobManager:
             return
 
         self._release()
+        if job.state.terminal:
+            # A cancel landed in the same timestep the last process
+            # exited: the job is already FAILED; don't claim DONE.
+            return
         job.transition(JobState.DONE, env.now)
         self._count_transition()
         self._notify()

@@ -20,6 +20,7 @@ from repro.core.applib import make_program
 from repro.core.atomic import Grab
 from repro.core.coallocator import Duroc
 from repro.errors import ReproError
+from repro.faults import FaultSpec, schedule as schedule_faults
 from repro.gram.client import GramClient
 from repro.gram.costs import CostModel
 from repro.gram.site import Site
@@ -92,15 +93,22 @@ class Grid:
     # -- factories --------------------------------------------------------------
 
     def duroc(self, **kwargs) -> Duroc:
-        """An interactive-transaction co-allocator on the client host."""
+        """An interactive-transaction co-allocator on the client host.
+
+        Pass ``retry=RetryPolicy(...)`` to enable bounded, jittered
+        resubmission; jitter draws from the grid's seeded
+        ``resilience.retry`` stream unless an ``rng`` is given.
+        """
         kwargs.setdefault("auth", self.costs.auth)
         kwargs.setdefault("tracer", self.tracer)
+        kwargs.setdefault("rng", self.rngs.stream("resilience.retry"))
         return Duroc(self.network, self.client_host, self.credential, **kwargs)
 
     def grab(self, **kwargs) -> Grab:
         """An atomic-transaction co-allocator on the client host."""
         kwargs.setdefault("auth", self.costs.auth)
         kwargs.setdefault("tracer", self.tracer)
+        kwargs.setdefault("rng", self.rngs.stream("resilience.retry"))
         return Grab(self.network, self.client_host, self.credential, **kwargs)
 
     def gram_client(self) -> GramClient:
@@ -150,6 +158,7 @@ class GridBuilder:
         self.trace = trace
         self._machines: list[dict] = []
         self._programs: dict[str, Program] = {}
+        self._faults: list[FaultSpec] = []
 
     def add_machine(
         self,
@@ -186,6 +195,17 @@ class GridBuilder:
     def program(self, name: str, program: Program) -> "GridBuilder":
         """Register an executable available on every site."""
         self._programs[name] = program
+        return self
+
+    def with_faults(self, *specs: FaultSpec) -> "GridBuilder":
+        """Declare faults to install on the built grid.
+
+        Accepts any :class:`repro.faults.FaultSpec`; they are validated
+        and scheduled by :func:`repro.faults.schedule` as part of
+        :meth:`build`, drawing stochastic faults from the grid's seeded
+        RNG registry.
+        """
+        self._faults.extend(specs)
         return self
 
     def build(self) -> Grid:
@@ -227,7 +247,7 @@ class GridBuilder:
             site.authorize(self.user)
             sites[spec["name"]] = site
 
-        return Grid(
+        grid = Grid(
             env=env,
             network=network,
             ca=ca,
@@ -239,3 +259,6 @@ class GridBuilder:
             tracer=tracer,
             client_host=self.client_host,
         )
+        if self._faults:
+            schedule_faults(env, grid, self._faults)
+        return grid

@@ -23,7 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, Optional
 
-from repro.errors import AuthenticationError
+from repro.errors import AuthenticationError, AuthTimeout
 from repro.gsi.credentials import CertificateAuthority, Credential
 from repro.gsi.gridmap import GridMap
 from repro.net.address import Endpoint
@@ -126,7 +126,9 @@ def _await(port: Port, env, corr: int, kind, timeout: Optional[float]):
     yield want | deadline
     if not want.triggered:
         want.cancel()
-        raise AuthenticationError(f"handshake timed out waiting for {kind}")
+        raise AuthTimeout(
+            f"handshake timed out waiting for {kind}", timeout=timeout
+        )
     deadline.cancelled = True  # retire the timer
     return want.value
 

@@ -1,59 +1,59 @@
-"""Machine-level fault injection.
+"""Machine-level fault models.
 
-The paper's motivating scenario (§2) features two distinct failure
-modes this module reproduces on demand:
-
-* a machine "unavailable due to a system crash" — :func:`crash_at`;
-* a machine "overloaded with other work" whose processes start so
-  slowly they miss the startup deadline — :func:`overload_during`.
-
-Plus Bernoulli models used by the application-scale experiments.
+:class:`FailureModel` (Bernoulli per-machine faults for scenario
+sweeps) lives here; the imperative helpers :func:`crash_at` and
+:func:`overload_during` are deprecated shims over the unified
+:mod:`repro.faults` facade, kept for one release.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.faults import HostCrash, Overload, schedule
 from repro.machine.host import Machine
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore.environment import Environment
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def crash_at(
     machine: Machine, at: float, duration: Optional[float] = None
 ) -> None:
-    """Schedule a crash of ``machine`` at time ``at`` (restore after
-    ``duration`` if given)."""
+    """Deprecated: schedule a crash of ``machine`` at time ``at``.
 
-    def driver(env):
-        if at > env.now:
-            yield env.timeout(at - env.now)
-        machine.crash()
-        if duration is not None:
-            yield env.timeout(duration)
-            machine.restore()
-
-    machine.env.process(driver(machine.env), name=f"fault.crash:{machine.name}")
+    Use :class:`repro.faults.HostCrash` with
+    :func:`repro.faults.schedule` (or ``GridBuilder.with_faults``).
+    """
+    _deprecated("repro.machine.faults.crash_at", "repro.faults.HostCrash")
+    schedule(
+        machine.env, machine, [HostCrash(machine.name, at=at, duration=duration)]
+    )
 
 
 def overload_during(
     machine: Machine, at: float, duration: float, factor: float
 ) -> None:
-    """Schedule a load spike on ``machine`` during [at, at+duration)."""
+    """Deprecated: schedule a load spike on ``machine``.
 
-    def driver(env):
-        if at > env.now:
-            yield env.timeout(at - env.now)
-        previous = machine.load_factor
-        machine.overload(factor)
-        yield env.timeout(duration)
-        machine.load_factor = previous
-
-    machine.env.process(driver(machine.env), name=f"fault.load:{machine.name}")
+    Use :class:`repro.faults.Overload` with
+    :func:`repro.faults.schedule` (or ``GridBuilder.with_faults``).
+    """
+    _deprecated("repro.machine.faults.overload_during", "repro.faults.Overload")
+    schedule(
+        machine.env,
+        machine,
+        [Overload(machine.name, factor=factor, at=at, duration=duration)],
+    )
 
 
 @dataclass(frozen=True)

@@ -1,87 +1,65 @@
-"""Network-level fault injection helpers.
+"""Deprecated network-fault helpers — use :mod:`repro.faults`.
 
-Thin, composable wrappers over :class:`~repro.net.network.Network`'s
-crash/partition/drop primitives, usable both imperatively from tests and
-as scheduled fault processes inside scenario simulations.
+This module predates the unified fault-injection facade and is kept as
+a thin compatibility shim for one release: :class:`FaultPlan` and
+:func:`random_loss` emit :class:`DeprecationWarning` and delegate to
+:func:`repro.faults.schedule` / :class:`repro.faults.MessageLoss`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.net.message import Message
+from repro.faults import HostCrash, MessageLoss, Partition, schedule
 from repro.net.network import Network
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simcore.environment import Environment
+    from repro.net.message import Message
+
+#: Backwards-compatible alias: the facade's Partition has the same
+#: (groups, at, duration) constructor shape the old dataclass had.
+PartitionWindow = Partition
+
+__all__ = ["FaultPlan", "HostCrash", "PartitionWindow", "random_loss"]
 
 
-@dataclass(frozen=True)
-class HostCrash:
-    """Crash ``host`` at ``at``; optionally restore after ``duration``."""
-
-    host: str
-    at: float
-    duration: Optional[float] = None
-
-
-@dataclass(frozen=True)
-class PartitionWindow:
-    """Partition the network into ``groups`` during [at, at+duration)."""
-
-    groups: tuple[tuple[str, ...], ...]
-    at: float
-    duration: float
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class FaultPlan:
-    """A deterministic schedule of network faults.
+    """Deprecated builder of network fault schedules.
 
-    Build a plan, then ``install()`` it to spawn the driver processes.
+    Use :class:`repro.faults.FaultSpec` lists with
+    :func:`repro.faults.schedule` (or ``GridBuilder.with_faults``).
     """
 
     def __init__(self) -> None:
+        _deprecated("repro.net.faults.FaultPlan", "repro.faults.schedule")
         self.crashes: list[HostCrash] = []
-        self.partitions: list[PartitionWindow] = []
+        self.partitions: list[Partition] = []
 
-    def crash(self, host: str, at: float, duration: Optional[float] = None) -> "FaultPlan":
+    def crash(
+        self, host: str, at: float, duration: Optional[float] = None
+    ) -> "FaultPlan":
         self.crashes.append(HostCrash(host, at, duration))
         return self
 
     def partition(
         self, groups: Sequence[Sequence[str]], at: float, duration: float
     ) -> "FaultPlan":
-        self.partitions.append(
-            PartitionWindow(tuple(tuple(g) for g in groups), at, duration)
-        )
+        self.partitions.append(Partition(groups, at, duration))
         return self
 
     def install(self, network: Network) -> None:
-        env = network.env
-        for crash in self.crashes:
-            env.process(_crash_proc(env, network, crash), name=f"crash:{crash.host}")
-        for window in self.partitions:
-            env.process(_partition_proc(env, network, window), name="partition")
-
-
-def _crash_proc(env: "Environment", network: Network, crash: HostCrash):
-    if crash.at > env.now:
-        yield env.timeout(crash.at - env.now)
-    network.crash_host(crash.host)
-    if crash.duration is not None:
-        yield env.timeout(crash.duration)
-        network.restore_host(crash.host)
-
-
-def _partition_proc(env: "Environment", network: Network, window: PartitionWindow):
-    if window.at > env.now:
-        yield env.timeout(window.at - env.now)
-    network.partition(window.groups)
-    yield env.timeout(window.duration)
-    network.heal_partition()
+        schedule(network.env, network, [*self.crashes, *self.partitions])
 
 
 def random_loss(
@@ -90,17 +68,13 @@ def random_loss(
     rng: np.random.Generator,
     kinds: Optional[Iterable[str]] = None,
 ):
-    """Install a Bernoulli drop rule; returns the rule for removal.
+    """Deprecated: install a Bernoulli drop rule; returns it for removal.
 
-    ``kinds`` restricts losses to the given message kinds.
+    Use :class:`repro.faults.MessageLoss` with
+    :func:`repro.faults.schedule` instead.
     """
+    _deprecated("repro.net.faults.random_loss", "repro.faults.MessageLoss")
     if not 0.0 <= probability <= 1.0:
         raise ValueError(f"probability {probability!r} outside [0, 1]")
-    kind_set = frozenset(kinds) if kinds is not None else None
-
-    def rule(message: Message) -> bool:
-        if kind_set is not None and message.kind not in kind_set:
-            return False
-        return bool(rng.random() < probability)
-
-    return network.add_drop_rule(rule)
+    spec = MessageLoss(probability, kinds=kinds)
+    return network.add_drop_rule(spec.rule(rng))

@@ -70,6 +70,15 @@ class LatencyModel:
         self._overrides[(host_a, host_b)] = latency
         self._overrides[(host_b, host_a)] = latency
 
+    def pair_latency(self, host_a: str, host_b: str) -> Optional[float]:
+        """The current override for a pair, if any (None = base latency)."""
+        return self._overrides.get((host_a, host_b))
+
+    def clear_latency(self, host_a: str, host_b: str) -> None:
+        """Remove a pair's override, restoring the base latency."""
+        self._overrides.pop((host_a, host_b), None)
+        self._overrides.pop((host_b, host_a), None)
+
     def latency(self, src: str, dst: str, size_bytes: int = 0) -> float:
         """One-way delay for a ``size_bytes`` message from src to dst."""
         if src == dst:

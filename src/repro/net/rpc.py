@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.errors import RPCTimeout
+from repro.errors import NetworkError, RPCTimeout
 from repro.net.address import Endpoint
 from repro.net.message import Message
 from repro.net.transport import Port
@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover
 REPLY_SUFFIX = ".reply"
 
 
-class RPCError(Exception):
+class RPCError(NetworkError):
     """A remote handler signalled failure; carries the remote payload."""
 
     def __init__(self, payload: Any) -> None:
@@ -65,7 +65,10 @@ def call(
             reply_event.cancel()
             metrics.counter("rpc.timeouts_total").inc(kind=kind)
             raise RPCTimeout(
-                f"rpc {kind!r} to {dst} timed out after {timeout:g}s"
+                f"rpc {kind!r} to {dst} timed out after {timeout:g}s",
+                endpoint=dst,
+                kind=kind,
+                timeout=timeout,
             )
         deadline.cancelled = True  # retire the timer
         message = reply_event.value

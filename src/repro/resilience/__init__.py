@@ -1,0 +1,32 @@
+"""Resilience: retry/timeout/backoff policies and circuit breakers.
+
+Everything runs on the simulated clock and draws jitter from seeded
+RNG streams, so retried runs stay bit-for-bit reproducible.  See
+``docs/RESILIENCE.md`` for the design and
+:mod:`repro.resilience.campaign` for the fault-campaign harness built
+on top.
+"""
+
+from repro.resilience.breaker import BreakerBoard, CircuitBreaker
+from repro.resilience.policy import (
+    DEFAULT_RETRY_ON,
+    Deadline,
+    RetryEpisode,
+    RetryPolicy,
+    retrying,
+    with_timeout,
+)
+from repro.resilience.states import AttemptPhase, BreakerPhase
+
+__all__ = [
+    "AttemptPhase",
+    "BreakerBoard",
+    "BreakerPhase",
+    "CircuitBreaker",
+    "DEFAULT_RETRY_ON",
+    "Deadline",
+    "RetryEpisode",
+    "RetryPolicy",
+    "retrying",
+    "with_timeout",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.resilience`` dispatches to :mod:`repro.resilience.cli`."""
+
+import sys
+
+from repro.resilience.cli import main
+
+sys.exit(main())

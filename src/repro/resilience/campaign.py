@@ -1,0 +1,260 @@
+"""Deterministic fault campaigns: declarative chaos for the simulator.
+
+A :class:`Campaign` names a co-allocation scenario and the set of
+:class:`~repro.faults.FaultSpec` s to unleash on it.  The harness runs
+each campaign as a seeded sweep — one fresh grid per trial, the
+paper's Figure-1-style request (two required subjobs, one interactive,
+one optional, plus a spare site for substitution) driven through DUROC
+by an :class:`~repro.broker.InteractiveAgent` under a
+:class:`~repro.resilience.RetryPolicy` — and reduces the outcomes to a
+JSON report (success rate, degradation mode, retries used, time to
+commit).
+
+Everything is a function of the root seed: the same
+``run_campaigns(seed=42)`` call produces a byte-identical report on
+every run, which the CI chaos job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.broker.interactive_agent import InteractiveAgent
+from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
+from repro.errors import ReproError
+from repro.faults import FaultSpec, HostCrash, MessageLoss, Overload, Partition, SlowLink
+from repro.gridenv import DEFAULT_EXECUTABLE, Grid, GridBuilder
+from repro.resilience.policy import RetryPolicy
+
+#: Sites of the Figure-1-style testbed.  RM1/RM2 anchor the
+#: computation (required), RM3 degrades gracefully (interactive, may be
+#: substituted), RM4 joins opportunistically (optional), SPARE is the
+#: substitution pool.
+SITES = ("RM1", "RM2", "RM3", "RM4", "SPARE")
+
+#: How long each trial may run after the agent settles (drains late
+#: optional joins and cancellations).
+DRAIN_TIME = 30.0
+
+#: Hard cap on a single trial's simulated duration.
+TRIAL_HORIZON = 600.0
+
+#: The harness's default retry policy: four attempts, jittered
+#: exponential backoff, capped per-episode.
+DEFAULT_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.5, multiplier=2.0, max_delay=8.0,
+    jitter=0.1, deadline=60.0,
+)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """One named fault scenario swept over seeds."""
+
+    name: str
+    description: str
+    faults: tuple[FaultSpec, ...] = ()
+    retry: RetryPolicy = DEFAULT_POLICY
+    submit_timeout: float = 3.0
+    subjob_timeout: float = 120.0
+    heartbeat_interval: float = 1.0
+    heartbeat_misses: int = 2
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "faults": [spec.describe() for spec in self.faults],
+            "retry": {
+                "max_attempts": self.retry.max_attempts,
+                "base_delay": self.retry.base_delay,
+                "multiplier": self.retry.multiplier,
+                "max_delay": self.retry.max_delay,
+                "jitter": self.retry.jitter,
+                "deadline": self.retry.deadline,
+            },
+        }
+
+
+#: The built-in campaign catalogue, keyed by name.
+CAMPAIGNS: dict[str, Campaign] = {
+    campaign.name: campaign
+    for campaign in (
+        Campaign(
+            name="baseline",
+            description="clean grid: every subjob commits, no retries",
+        ),
+        Campaign(
+            name="message_loss",
+            description="10% Bernoulli message loss on every link",
+            faults=(MessageLoss(0.1),),
+        ),
+        Campaign(
+            name="partition",
+            description="optional site partitioned away mid-submission",
+            faults=(Partition((("RM4",),), at=0.5, duration=45.0),),
+        ),
+        Campaign(
+            name="crash",
+            description="interactive site crashes during submission",
+            faults=(HostCrash("RM3", at=1.0),),
+        ),
+        Campaign(
+            name="overload",
+            description="a required site is overloaded 20x at the barrier",
+            faults=(Overload("RM2", factor=20.0),),
+        ),
+        Campaign(
+            name="slow_link",
+            description="client link to a required site is 100x slower",
+            faults=(SlowLink("client", "RM2", latency=0.2),),
+        ),
+    )
+}
+
+
+def figure1_request(grid: Grid) -> CoAllocationRequest:
+    """The motivating scenario's request shape (paper Fig. 1)."""
+    def spec(site: str, count: int, start_type: SubjobType) -> SubjobSpec:
+        return SubjobSpec(
+            contact=grid.site(site).contact,
+            count=count,
+            executable=DEFAULT_EXECUTABLE,
+            start_type=start_type,
+        )
+
+    return CoAllocationRequest([
+        spec("RM1", 4, SubjobType.REQUIRED),
+        spec("RM2", 4, SubjobType.REQUIRED),
+        spec("RM3", 4, SubjobType.INTERACTIVE),
+        spec("RM4", 2, SubjobType.OPTIONAL),
+    ])
+
+
+def run_trial(campaign: Campaign, seed: int) -> dict[str, Any]:
+    """One seeded trial of ``campaign``; returns its record."""
+    grid = _build_grid(campaign, seed)
+    duroc = grid.duroc(
+        retry=campaign.retry,
+        submit_timeout=campaign.submit_timeout,
+        default_subjob_timeout=campaign.subjob_timeout,
+        heartbeat_interval=campaign.heartbeat_interval,
+        heartbeat_misses=campaign.heartbeat_misses,
+    )
+    agent = InteractiveAgent(duroc, spares=[grid.site("SPARE").contact])
+    request = figure1_request(grid)
+    requested = len(request)
+
+    def scenario(env):
+        outcome = yield from agent.allocate(request)
+        return outcome
+
+    outcome = grid.run(grid.process(scenario(grid.env)))
+    grid.run(until=min(grid.now + DRAIN_TIME, TRIAL_HORIZON))
+
+    metrics = grid.tracer.metrics
+    job = duroc.jobs[0] if duroc.jobs else None
+    released = len(job.released_slots()) if job is not None else 0
+    record = {
+        "seed": seed,
+        "success": bool(outcome.success),
+        "requested_subjobs": requested,
+        "released_subjobs": released,
+        "sizes": list(outcome.result.sizes) if outcome.result else [],
+        "substitutions": outcome.substitutions,
+        "dropped": outcome.dropped,
+        "retries_used": int(metrics.counter("resilience.retries_total").total()),
+        "exhausted_episodes": int(
+            metrics.counter("resilience.exhausted_total").total()
+        ),
+        "breaker_trips": int(
+            metrics.counter("resilience.breaker_trips_total").total()
+        ),
+        "time_to_commit": round(outcome.elapsed, 6) if outcome.success else None,
+        "failure": outcome.failure,
+        "degradation": _classify(outcome, requested, released),
+    }
+    return record
+
+
+def _build_grid(campaign: Campaign, seed: int) -> Grid:
+    builder = GridBuilder(seed=seed)
+    for site in SITES:
+        builder.add_machine(site, nodes=16)
+    return builder.with_faults(*campaign.faults).build()
+
+
+def _classify(outcome: Any, requested: int, released: int) -> str:
+    """Reduce a trial to its degradation mode.
+
+    ``none``        — full configuration, first try;
+    ``substituted`` — full configuration via spare resources;
+    ``degraded``    — committed, but with subjobs dropped (the paper's
+    "decreased level of simulation fidelity");
+    ``failed``      — the co-allocation aborted.
+    """
+    if not outcome.success:
+        return "failed"
+    if released < requested or outcome.dropped > 0:
+        return "degraded"
+    if outcome.substitutions > 0:
+        return "substituted"
+    return "none"
+
+
+def run_campaigns(
+    seed: int = 42,
+    trials: int = 3,
+    names: Optional[Sequence[str]] = None,
+) -> dict[str, Any]:
+    """Run the selected campaigns; returns the deterministic report."""
+    if trials < 1:
+        raise ReproError(f"trials must be >= 1, got {trials!r}")
+    selected = list(names) if names else sorted(CAMPAIGNS)
+    unknown = [name for name in selected if name not in CAMPAIGNS]
+    if unknown:
+        raise ReproError(
+            f"unknown campaign(s) {unknown}; pick from {sorted(CAMPAIGNS)}"
+        )
+
+    report: dict[str, Any] = {
+        "harness": "repro.resilience",
+        "scenario": "figure1",
+        "seed": seed,
+        "trials": trials,
+        "campaigns": [],
+    }
+    for name in selected:
+        campaign = CAMPAIGNS[name]
+        records = [
+            run_trial(campaign, seed + index) for index in range(trials)
+        ]
+        successes = [r for r in records if r["success"]]
+        modes: dict[str, int] = {}
+        for record in records:
+            modes[record["degradation"]] = modes.get(record["degradation"], 0) + 1
+        entry = campaign.describe()
+        entry["records"] = records
+        entry["summary"] = {
+            "success_rate": round(len(successes) / trials, 6),
+            "retries_used": sum(r["retries_used"] for r in records),
+            "breaker_trips": sum(r["breaker_trips"] for r in records),
+            "degradation_modes": modes,
+            "mean_time_to_commit": (
+                round(
+                    sum(r["time_to_commit"] for r in successes) / len(successes),
+                    6,
+                )
+                if successes
+                else None
+            ),
+        }
+        report["campaigns"].append(entry)
+    return report
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """The report's canonical byte form: sorted keys, 2-space indent."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"

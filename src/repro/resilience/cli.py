@@ -1,0 +1,99 @@
+"""Command-line entry point: ``python -m repro.resilience``.
+
+Run the deterministic fault campaigns and inspect the catalogue::
+
+    python -m repro.resilience list
+    python -m repro.resilience run --seed 42
+    python -m repro.resilience run --seed 42 --trials 5 \\
+        --campaign message_loss --campaign partition \\
+        --out results/campaign_report.json
+
+``run`` emits the campaign report in its canonical byte form (sorted
+keys, two-space indent, trailing newline): the same seed always
+produces byte-identical output, which the CI chaos job asserts by
+running it twice and comparing the files.
+
+Exit status mirrors ``python -m repro.obs``: 0 when every selected
+campaign succeeded in every trial, 1 when any trial failed (the report
+is still written), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.resilience.campaign import CAMPAIGNS, render_report, run_campaigns
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Seeded fault-injection campaigns over the co-allocator.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    sub.add_parser("list", help="show the campaign catalogue")
+
+    run = sub.add_parser(
+        "run", help="run campaigns; print the deterministic JSON report"
+    )
+    run.add_argument(
+        "--seed", type=int, default=42,
+        help="root seed; trial i of every campaign uses seed+i (default: 42)",
+    )
+    run.add_argument(
+        "--trials", type=int, default=3,
+        help="seeded trials per campaign (default: 3)",
+    )
+    run.add_argument(
+        "--campaign", action="append", default=None, metavar="NAME",
+        help="restrict to this campaign (repeatable; default: all)",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the report to PATH",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.error("a command is required (see --help)")
+
+    if args.command == "list":
+        width = max(len(name) for name in CAMPAIGNS)
+        for name in sorted(CAMPAIGNS):
+            print(f"{name:<{width}}  {CAMPAIGNS[name].description}")
+        return 0
+
+    try:
+        report = run_campaigns(
+            seed=args.seed, trials=args.trials, names=args.campaign
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+    text = render_report(report)
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+    sys.stdout.write(text)
+    return 0 if _all_succeeded(report) else 1
+
+
+def _all_succeeded(report: dict[str, Any]) -> bool:
+    return all(
+        record["success"]
+        for campaign in report["campaigns"]
+        for record in campaign["records"]
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Circuit breaker lifecycle: CLOSED → OPEN → HALF_OPEN and back."""
+
+import pytest
+
+from repro.errors import CircuitOpen
+from repro.resilience import BreakerBoard, BreakerPhase, CircuitBreaker
+from repro.simcore import Environment
+
+
+def make_breaker(env, threshold=3, recovery=10.0):
+    return CircuitBreaker(
+        env, endpoint="RM1:gatekeeper",
+        failure_threshold=threshold, recovery_time=recovery,
+    )
+
+
+class TestCircuitBreaker:
+    def test_trips_at_threshold(self):
+        env = Environment()
+        breaker = make_breaker(env, threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state is BreakerPhase.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerPhase.OPEN
+
+    def test_open_refuses_with_typed_error(self):
+        env = Environment()
+        breaker = make_breaker(env, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        with pytest.raises(CircuitOpen) as err:
+            breaker.admit()
+        assert err.value.retry_at == 10.0
+        assert breaker.retry_at == 10.0
+
+    def test_recovery_admits_probe_and_success_closes(self):
+        env = Environment()
+        breaker = make_breaker(env, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        env.run(until=env.timeout(10.0))
+        breaker.admit()  # the probe is admitted, not refused
+        assert breaker.state is BreakerPhase.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerPhase.CLOSED
+        assert breaker.failures == 0
+
+    def test_failed_probe_reopens(self):
+        env = Environment()
+        breaker = make_breaker(env, threshold=1, recovery=10.0)
+        breaker.record_failure()
+        env.run(until=env.timeout(10.0))
+        breaker.admit()
+        breaker.record_failure()
+        assert breaker.state is BreakerPhase.OPEN
+        # The recovery window restarts from the re-trip.
+        assert breaker.retry_at == 20.0
+
+    def test_success_resets_failure_count(self):
+        env = Environment()
+        breaker = make_breaker(env, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerPhase.CLOSED
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"failure_threshold": 0}, {"recovery_time": 0.0}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(Environment(), **kwargs)
+
+
+class TestBreakerBoard:
+    def test_one_breaker_per_endpoint(self):
+        env = Environment()
+        board = BreakerBoard(env)
+        first = board.breaker("RM1:gatekeeper")
+        assert board.breaker("RM1:gatekeeper") is first
+        assert board.breaker("RM2:gatekeeper") is not first
+        assert "RM1:gatekeeper" in board
+        assert "RM3:gatekeeper" not in board
+
+    def test_shared_settings(self):
+        env = Environment()
+        board = BreakerBoard(env, failure_threshold=2, recovery_time=5.0)
+        breaker = board.breaker("RM1:gatekeeper")
+        assert breaker.failure_threshold == 2
+        assert breaker.recovery_time == 5.0
