@@ -21,6 +21,7 @@ from repro.core import CoAllocationRequest, DurocEvent, make_program
 from repro.gridenv import GridBuilder
 from repro.obs.export import write_jsonl, write_metrics
 from repro.rsl import pretty
+from repro.verify import EventLog, RunContext, all_monitors, evaluate
 
 RESULTS = Path(__file__).resolve().parent.parent / "results"
 
@@ -38,7 +39,9 @@ def body(ctx, port, config):
 
 
 def main() -> None:
-    # 1. Build a simulated grid: three independently administered sites.
+    # 1. Build a simulated grid: three independently administered sites,
+    #    with the runtime-verification recorder attached so this run is
+    #    also a checked execution (see ``python -m repro.verify``).
     grid = (
         GridBuilder(seed=42)
         .add_machine("RM1", nodes=16)
@@ -46,6 +49,7 @@ def main() -> None:
         .add_machine("RM3", nodes=64)
         .program("master", make_program(startup=0.5, body=body))
         .program("worker", make_program(startup=0.5, body=body))
+        .with_monitors()
         .build()
     )
 
@@ -94,7 +98,26 @@ def main() -> None:
     print(f"\n{len(checkins)} subjobs checked into the barrier; "
           f"request ended in state {job.state.value!r}")
 
-    # 5. Export the trace and metrics for ``python -m repro.obs``.
+    # 5. Evaluate the protocol monitors over the recorded run: vector
+    #    clocks + happens-before race/2PC/deadlock checks.
+    recorder = grid.recorder
+    findings = evaluate(
+        all_monitors(),
+        EventLog(recorder.events),
+        RunContext(
+            run_id="quickstart",
+            queue_exhausted=recorder.queue_exhausted,
+            end_time=grid.now,
+        ),
+    )
+    print(
+        f"Runtime verification: {len(recorder.events)} events recorded, "
+        f"{len(findings)} protocol finding(s)"
+    )
+    for finding in findings:
+        print(f"  {finding.rule}: {finding.message}")
+
+    # 6. Export the trace and metrics for ``python -m repro.obs``.
     trace_path = write_jsonl(grid.tracer, RESULTS / "quickstart_trace.jsonl")
     metrics_path = write_metrics(
         grid.tracer.metrics.snapshot(), RESULTS / "quickstart_metrics.json"

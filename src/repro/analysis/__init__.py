@@ -1,6 +1,6 @@
 """Static invariant checks for the co-allocation codebase.
 
-Four rule families guard the invariants the simulator can only test
+Five rule families guard the invariants the simulator can only test
 probabilistically:
 
 * **determinism** (``det-*``) — all randomness through
@@ -11,9 +11,14 @@ probabilistically:
 * **callback-safety** (``cb-*``) — monitoring callbacks never block the
   event loop and per-job handlers get unregistered;
 * **rsl-schema** (``rsl-*``) — RSL attribute keys at construction sites
-  exist in the canonical registry.
+  exist in the canonical registry;
+* **resilience** (``res-*``) — no bare ``except`` around RPC calls, no
+  literal-seeded RNGs feeding retry jitter or breaker timing.
 
 Run ``python -m repro.analysis [paths]``; see ``docs/ANALYSIS.md``.
+The *dynamic* counterpart — protocol monitors over recorded runs,
+sharing this framework's rules and reporters — lives in
+:mod:`repro.verify`.
 """
 
 from repro.analysis.callback_safety import CallbackSafetyChecker
@@ -28,6 +33,7 @@ from repro.analysis.framework import (
     Severity,
 )
 from repro.analysis.reporters import render_json, render_text
+from repro.analysis.resilience_rules import ResilienceChecker
 from repro.analysis.rsl_schema import RslSchemaChecker
 from repro.analysis.statemachine import StateMachineChecker
 
@@ -39,6 +45,7 @@ __all__ = [
     "DeterminismChecker",
     "Finding",
     "Module",
+    "ResilienceChecker",
     "RslSchemaChecker",
     "Rule",
     "Severity",

@@ -15,6 +15,7 @@ from repro.analysis.callback_safety import CallbackSafetyChecker
 from repro.analysis.determinism import DeterminismChecker
 from repro.analysis.framework import Analyzer, Checker
 from repro.analysis.reporters import render_json, render_text
+from repro.analysis.resilience_rules import ResilienceChecker
 from repro.analysis.rsl_schema import RslSchemaChecker
 from repro.analysis.statemachine import StateMachineChecker
 
@@ -26,6 +27,7 @@ def all_checkers() -> list[Checker]:
         StateMachineChecker(),
         CallbackSafetyChecker(),
         RslSchemaChecker(),
+        ResilienceChecker(),
     ]
 
 
@@ -49,7 +51,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--select", default=None, metavar="RULES",
-        help="comma-separated rule ids, families (det, sm, cb, rsl) or "
+        help="comma-separated rule ids, families (det, sm, cb, rsl, res) or "
         "checker names to run; everything else is skipped",
     )
     parser.add_argument(

@@ -22,6 +22,9 @@ from typing import Iterable, Iterator, Optional, Sequence
 #: Rule id of the synthetic finding emitted for unparseable files.
 PARSE_ERROR = "parse-error"
 
+#: Rule id of the warning emitted for a noqa comment naming no known rule.
+NOQA_UNKNOWN_RULE = "noqa-unknown-rule"
+
 #: ``# repro: noqa`` / ``# repro: noqa rule-a, rule-b`` (id list optional).
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa\b(?:[:\s]+(?P<rules>[\w\s,-]+))?", re.IGNORECASE
@@ -44,7 +47,13 @@ class Rule:
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    Static checkers locate findings in source files; dynamic monitors
+    (:mod:`repro.verify`) reuse the same record with ``file`` naming the
+    run and ``line`` the violating event's sequence number, and attach
+    the happens-before ``witness`` chain that certifies the violation.
+    """
 
     file: str
     line: int
@@ -52,6 +61,12 @@ class Finding:
     rule: str
     severity: Severity
     message: str
+    #: Last source line of the violating construct (0 = same as line);
+    #: suppressions anywhere in ``line..end_line`` apply, so a noqa on a
+    #: continuation line of a multi-line statement works.
+    end_line: int = 0
+    #: Happens-before witness: one rendered event per causal step.
+    witness: tuple[str, ...] = ()
 
     def location(self) -> str:
         return f"{self.file}:{self.line}:{self.col}"
@@ -95,6 +110,7 @@ class Checker:
             rule=rule.id,
             severity=rule.severity,
             message=message,
+            end_line=getattr(node, "end_lineno", None) or 0,
         )
 
     def check(self, module: Module) -> Iterator[Finding]:
@@ -122,13 +138,23 @@ def suppressed_rules(line: str) -> Optional[set[str]]:
 
 
 def is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
-    """True if the finding's line carries a matching suppression."""
-    if not 1 <= finding.line <= len(lines):
-        return False
-    rules = suppressed_rules(lines[finding.line - 1])
-    if rules is None:
-        return False
-    return not rules or finding.rule.lower() in rules
+    """True if the finding carries a matching suppression.
+
+    The suppression may sit on any line the violating construct spans
+    (``finding.line`` through ``finding.end_line``), so multi-line
+    statements can be noqa'd on whichever continuation line the
+    offending part lives on.
+    """
+    last = max(finding.line, finding.end_line)
+    for lineno in range(finding.line, min(last, len(lines)) + 1):
+        if lineno < 1:
+            continue
+        rules = suppressed_rules(lines[lineno - 1])
+        if rules is None:
+            continue
+        if not rules or finding.rule.lower() in rules:
+            return True
+    return False
 
 
 def iter_python_files(paths: Iterable[str]) -> list[Path]:
@@ -160,12 +186,31 @@ class AnalysisReport:
         return not self.findings
 
 
-def _selected(finding: Finding, checker: Checker, select: Optional[set[str]]) -> bool:
+def normalize_select(select: Optional[Iterable[str]]) -> Optional[set[str]]:
+    """Lowercase/strip a ``--select`` list; None selects everything."""
+    if not select:
+        return None
+    out = {s.strip().lower() for s in select if s.strip()}
+    return out or None
+
+
+def rule_selected(
+    rule_id: str, checker_name: str, select: Optional[set[str]]
+) -> bool:
+    """Shared ``--select`` semantics: a selector matches a finding by
+    exact rule id, rule family (the prefix before the first ``-``), or
+    the owning checker/monitor name.  Used by both the static analyzer
+    and the dynamic monitors of :mod:`repro.verify`.
+    """
     if select is None:
         return True
-    rule = finding.rule.lower()
+    rule = rule_id.lower()
     family = rule.split("-", 1)[0]
-    return bool({rule, family, checker.name.lower()} & select)
+    return bool({rule, family, checker_name.lower()} & select)
+
+
+def _selected(finding: Finding, checker_name: str, select: Optional[set[str]]) -> bool:
+    return rule_selected(finding.rule, checker_name, select)
 
 
 class Analyzer:
@@ -177,9 +222,7 @@ class Analyzer:
         select: Optional[Iterable[str]] = None,
     ) -> None:
         self.checkers = list(checkers)
-        self.select = (
-            {s.strip().lower() for s in select if s.strip()} if select else None
-        )
+        self.select = normalize_select(select)
 
     def parse(self, path: Path) -> "Module | Finding":
         """Parse one file into a Module, or a parse-error Finding."""
@@ -212,17 +255,19 @@ class Analyzer:
             modules.append(parsed)
 
         by_path = {module.path: module for module in modules}
-        raw: list[tuple[Finding, Checker]] = []
+        raw: list[tuple[Finding, str]] = []
         for module in modules:
             for checker in self.checkers:
                 for finding in checker.check(module):
-                    raw.append((finding, checker))
+                    raw.append((finding, checker.name))
+            for finding in self._unknown_noqa(module):
+                raw.append((finding, "framework"))
         for checker in self.checkers:
             for finding in checker.finalize(modules):
-                raw.append((finding, checker))
+                raw.append((finding, checker.name))
 
-        for finding, checker in raw:
-            if not _selected(finding, checker, self.select):
+        for finding, checker_name in raw:
+            if not _selected(finding, checker_name, self.select):
                 continue
             module = by_path.get(finding.file)
             if module is not None and is_suppressed(finding, module.lines):
@@ -235,6 +280,32 @@ class Analyzer:
             suppressed=suppressed,
             files_checked=len(files),
         )
+
+    def _unknown_noqa(self, module: Module) -> Iterator[Finding]:
+        """Warn about noqa comments naming rules no loaded checker has.
+
+        A typo'd rule id in a suppression comment silently suppresses
+        nothing; surfacing it as a warning keeps suppressions honest.
+        """
+        known = {
+            rule.id.lower()
+            for checker in self.checkers
+            for rule in checker.rules
+        }
+        known.update({PARSE_ERROR, NOQA_UNKNOWN_RULE})
+        for lineno, line in enumerate(module.lines, start=1):
+            rules = suppressed_rules(line)
+            if not rules:  # no comment, or a blanket noqa
+                continue
+            for rule_id in sorted(rules - known):
+                yield Finding(
+                    file=module.path,
+                    line=lineno,
+                    col=1,
+                    rule=NOQA_UNKNOWN_RULE,
+                    severity=Severity.WARNING,
+                    message=f"noqa names unknown rule {rule_id!r}",
+                )
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:

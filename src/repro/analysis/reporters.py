@@ -1,18 +1,51 @@
-"""Finding reporters: human-readable text and machine-readable JSON."""
+"""Finding reporters: human-readable text and machine-readable JSON.
+
+Shared by the static analyzer (``repro.analysis``) and the dynamic
+monitors (``repro.verify``): both produce
+:class:`~repro.analysis.framework.Finding` s, so one reporter layer
+serves both.  Dynamic findings carry a happens-before ``witness``,
+rendered as indented continuation lines in text output.
+"""
 
 from __future__ import annotations
 
 import json
 
-from repro.analysis.framework import AnalysisReport
+from repro.analysis.framework import AnalysisReport, Finding
+
+
+def format_finding(finding: Finding) -> str:
+    """``file:line:col: rule severity: message`` plus witness lines."""
+    head = (
+        f"{finding.location()}: {finding.rule} "
+        f"{finding.severity.value}: {finding.message}"
+    )
+    if not finding.witness:
+        return head
+    steps = [f"    | {step}" for step in finding.witness]
+    return "\n".join([head, "    happens-before witness:"] + steps)
+
+
+def finding_payload(finding: Finding) -> dict:
+    """The finding's JSON object form (shared text/JSON reporters)."""
+    payload = {
+        "file": finding.file,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "severity": finding.severity.value,
+        "message": finding.message,
+    }
+    if finding.end_line:
+        payload["end_line"] = finding.end_line
+    if finding.witness:
+        payload["witness"] = list(finding.witness)
+    return payload
 
 
 def render_text(report: AnalysisReport) -> str:
-    """``file:line:col: rule severity: message`` lines plus a summary."""
-    lines = [
-        f"{f.location()}: {f.rule} {f.severity.value}: {f.message}"
-        for f in report.findings
-    ]
+    """One line per finding (plus witnesses) and a summary."""
+    lines = [format_finding(f) for f in report.findings]
     errors = sum(1 for f in report.findings if f.severity.value == "error")
     warnings = len(report.findings) - errors
     summary = (
@@ -30,16 +63,6 @@ def render_json(report: AnalysisReport) -> str:
         "version": 1,
         "files_checked": report.files_checked,
         "suppressed": report.suppressed,
-        "findings": [
-            {
-                "file": f.file,
-                "line": f.line,
-                "col": f.col,
-                "rule": f.rule,
-                "severity": f.severity.value,
-                "message": f.message,
-            }
-            for f in report.findings
-        ],
+        "findings": [finding_payload(f) for f in report.findings],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

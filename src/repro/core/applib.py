@@ -22,6 +22,7 @@ from repro.core.config import DurocConfig
 from repro.errors import CoAllocationError, StopProcess
 from repro.machine.host import ProcessContext
 from repro.net.transport import Port
+from repro.simcore.probe import emit
 from repro.simcore.tracing import OBS_CONTEXT_PARAM, TraceContext
 
 #: Context parameter keys injected by the DUROC co-allocator at submit.
@@ -68,6 +69,8 @@ def barrier(
         "reason": reason,
         "endpoint": port.endpoint,
     }
+    node = str(port.endpoint)
+    emit(ctx.env, node, "barrier.enter", slot=slot_id, rank=ctx.rank, ok=ok)
     port.send(contact, CHECKIN, payload=payload, ctx=trace)
     resends = 0
     while True:
@@ -81,12 +84,21 @@ def barrier(
         get.cancel()
         resends += 1
         if resends > CHECKIN_MAX_RESENDS:
+            emit(ctx.env, node, "barrier.abandoned", slot=slot_id, rank=ctx.rank)
             raise StopProcess(("failed", "no barrier verdict arrived"))
         port.send(contact, CHECKIN, payload=payload, ctx=trace)
     if message.kind == ABORT:
+        emit(
+            ctx.env, node, "barrier.exit",
+            slot=slot_id, rank=ctx.rank, verdict="abort",
+        )
         raise StopProcess(("aborted", message.payload.get("reason")))
     if not ok:  # pragma: no cover - the co-allocator never releases failures
         raise StopProcess(("failed", reason))
+    emit(
+        ctx.env, node, "barrier.exit",
+        slot=slot_id, rank=ctx.rank, verdict="release",
+    )
     return config_from_release(message.payload)
 
 

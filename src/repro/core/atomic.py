@@ -84,6 +84,7 @@ class Grab:
             [self._force_required(spec) for spec in request]
         )
         job: DurocJob = self._duroc.submit(forced)
+        job._probe("duroc.atomic")
         result: DurocResult = yield from job.commit()
         return result
 

@@ -22,6 +22,7 @@ from repro.errors import HostDown
 from repro.net.address import Endpoint
 from repro.net.transport import Port
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+from repro.simcore.probe import record_access
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -101,6 +102,11 @@ class BarrierManager:
         return table
 
     def discard_table(self, slot_id: int) -> None:
+        if slot_id in self.tables:
+            record_access(
+                self.env, str(self.port.endpoint),
+                f"barrier:{slot_id}", "w", op="discard",
+            )
         self.tables.pop(slot_id, None)
 
     def record(self, checkin: Checkin) -> Optional[BarrierTable]:
@@ -108,7 +114,13 @@ class BarrierManager:
         table = self.tables.get(checkin.slot_id)
         if table is None:
             return None
-        if table.record(checkin):
+        applied = table.record(checkin)
+        record_access(
+            self.env, str(self.port.endpoint),
+            f"barrier:{checkin.slot_id}", "w",
+            op="record", rank=checkin.rank, applied=applied,
+        )
+        if applied:
             self.metrics.gauge("duroc.barrier_waiting").inc()
         return table
 
@@ -138,6 +150,10 @@ class BarrierManager:
         """Send the release message to every process of one slot."""
         table = self.tables[slot_id]
         self._release_base[slot_id] = base
+        record_access(
+            self.env, str(self.port.endpoint),
+            f"barrier:{slot_id}", "w", op="release",
+        )
         released = 0
         for rank, checkin in sorted(table.checkins.items()):
             if not checkin.ok:
@@ -162,6 +178,11 @@ class BarrierManager:
         base = self._release_base.get(checkin.slot_id)
         if base is None:
             return False
+        record_access(
+            self.env, str(self.port.endpoint),
+            f"barrier:{checkin.slot_id}", "r",
+            op="resend_release", rank=checkin.rank,
+        )
         self._send(checkin.endpoint, RELEASE, dict(base, my_rank=checkin.rank))
         return True
 
@@ -170,6 +191,10 @@ class BarrierManager:
         table = self.tables.get(slot_id)
         if table is None:
             return 0
+        record_access(
+            self.env, str(self.port.endpoint),
+            f"barrier:{slot_id}", "w", op="abort",
+        )
         aborted = 0
         for checkin in table.checkins.values():
             if (table.slot_id, checkin.rank) in self.release_times:

@@ -61,6 +61,7 @@ from repro.net.address import Endpoint
 from repro.net.transport import Port, ephemeral_endpoint
 from repro.resilience import BreakerBoard, Deadline, RetryPolicy
 from repro.simcore.events import Event
+from repro.simcore.probe import emit, register_locus
 from repro.simcore.process import ProcessGenerator
 from repro.simcore.resources import Store
 from repro.simcore.tracing import NULL_TRACER, TraceContext, Tracer
@@ -166,6 +167,15 @@ class DurocJob:
         self._waiters: list[Event] = []
 
         self._gram_listener = CallbackListener(duroc.network, duroc.host)
+        #: Verification locus: the job's processes (listener, driver,
+        #: watchdog, heartbeat, commit) share state legitimately and
+        #: form one unit of control for happens-before purposes.
+        self._verify_node = f"{self.job_id}@{duroc.host}"
+        register_locus(self.env, self.port.endpoint, self._verify_node)
+        register_locus(
+            self.env, self._gram_listener.endpoint, self._verify_node
+        )
+        self._probe("duroc.state", state=self.state.value)
         self._listener = self.env.process(
             self._listen(), name=f"{self.job_id}:listen"
         )
@@ -286,6 +296,7 @@ class DurocJob:
         self._transition(RequestState.COMMITTING)
         self._emit(DurocEvent.REQUEST_COMMITTED, None, None)
         self.tracer.mark("duroc.commit", parent=self.trace_ctx, job=self.job_id)
+        self._probe("duroc.commit")
 
         def settled(job: "DurocJob") -> bool:
             if job._blocking_slots():
@@ -302,7 +313,9 @@ class DurocJob:
 
         released = self._release()
         if not released:
-            self._abort("commit released an empty configuration")
+            self._abort(
+                "commit released an empty configuration", origin="empty-config"
+            )
             raise AllocationAborted(self.abort_reason)
         return DurocResult(
             job=self,
@@ -376,6 +389,13 @@ class DurocJob:
             return
         self.abort_reason = reason
         self.abort_subjob = subjob
+        self._probe(
+            "duroc.abort.decision",
+            origin="kill",
+            subjob=subjob,
+            blame_start_type=self._blame_start_type(subjob),
+            reason=reason,
+        )
         self._transition(RequestState.TERMINATED)
         self._teardown(reason)
         self._emit(DurocEvent.REQUEST_ABORTED, None, reason)
@@ -389,6 +409,7 @@ class DurocJob:
     def _transition(self, new: RequestState) -> None:
         check_request_transition(self.state, new)
         self.state = new
+        self._probe("duroc.state", state=new.value)
 
     def _finish_trace(self, outcome: str) -> None:
         """Close the root span with the request's outcome (first wins)."""
@@ -397,6 +418,16 @@ class DurocJob:
         self._trace_finished = True
         self.trace_span.finish(outcome=outcome)
         self.metrics.counter("duroc.requests_total").inc(outcome=outcome)
+
+    def _probe(self, name: str, **attrs: Any) -> None:
+        """Emit a runtime-verification event on this job's locus."""
+        emit(self.env, self._verify_node, name, job=self.job_id, **attrs)
+
+    def _blame_start_type(self, subjob: Optional[int]) -> Optional[str]:
+        """Start type of the subjob blamed for an abort, if one."""
+        if subjob is None or not 0 <= subjob < len(self.slots):
+            return None
+        return self.slots[subjob].spec.start_type.value
 
     def _emit(
         self, event: DurocEvent, slot: Optional[SubjobSlot], detail: Any
@@ -486,6 +517,12 @@ class DurocJob:
             lambda job_id, state, reason, s=slot: self._on_gram(s, state, reason),
         )
         slot.transition(SubjobState.SUBMITTED, env.now)
+        self._probe(
+            "duroc.slot.state",
+            slot=slot.index,
+            state="submitted",
+            gram_job=handle.job_id,
+        )
         self._emit(DurocEvent.SUBJOB_SUBMITTED, slot, handle.job_id)
         # Under a retry policy the submit reply may arrive long after
         # the job actually started: the processes may have fully
@@ -661,6 +698,13 @@ class DurocJob:
     def _on_gram(
         self, slot: SubjobSlot, state: JobState, reason: Optional[str]
     ) -> None:
+        if state is not slot.gram_state:
+            self._probe(
+                "duroc.gram",
+                slot=slot.index,
+                state=state.value,
+                terminal=state.terminal,
+            )
         slot.gram_state = state
         if state.terminal and slot.gram_handle is not None:
             # A terminal GRAM job never transitions again: drop the
@@ -692,6 +736,13 @@ class DurocJob:
         was_released = slot.state is SubjobState.RELEASED
         start_type = slot.spec.start_type
         slot.transition(SubjobState.FAILED, self.env.now)
+        self._probe(
+            "duroc.slot.failed",
+            slot=slot.index,
+            start_type=start_type.value,
+            reason=reason,
+            released=was_released,
+        )
         self._cancel_slot_resources(slot, reason)
         notification = Notification(
             event=kind, time=self.env.now, subjob=slot.index, detail=reason
@@ -727,9 +778,13 @@ class DurocJob:
     def _cancel_slot_resources(self, slot: SubjobSlot, reason: str) -> None:
         """Cancel the slot's GRAM job and abort its barrier waiters."""
         self.barrier.abort_slot(slot.slot_id, reason)
-        if slot.gram_handle is not None and (
+        cancelling = slot.gram_handle is not None and (
             slot.gram_state is None or not slot.gram_state.terminal
-        ):
+        )
+        self._probe(
+            "duroc.cancel", slot=slot.index, gram=cancelling, reason=reason
+        )
+        if cancelling:
             self._cancel_gram_async(slot.gram_handle)
 
     def _cancel_gram_async(self, handle: JobHandle) -> None:
@@ -746,12 +801,24 @@ class DurocJob:
         slot.transition(state, self.env.now)
         self.barrier.discard_table(slot.slot_id)
 
-    def _abort(self, reason: str, subjob: Optional[int] = None) -> None:
+    def _abort(
+        self,
+        reason: str,
+        subjob: Optional[int] = None,
+        origin: str = "subjob-failure",
+    ) -> None:
         """Pre-release failure of the whole request."""
         if self.state.terminal:
             return
         self.abort_reason = reason
         self.abort_subjob = subjob
+        self._probe(
+            "duroc.abort.decision",
+            origin=origin,
+            subjob=subjob,
+            blame_start_type=self._blame_start_type(subjob),
+            reason=reason,
+        )
         self._transition(RequestState.ABORTED)
         self._teardown(reason)
         self._emit(DurocEvent.REQUEST_ABORTED, None, reason)

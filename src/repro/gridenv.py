@@ -14,7 +14,7 @@ benchmark builds its world through this module.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.applib import make_program
 from repro.core.atomic import Grab
@@ -34,6 +34,9 @@ from repro.schedulers.reservation import ReservationScheduler
 from repro.simcore.environment import Environment
 from repro.simcore.rng import RngRegistry
 from repro.simcore.tracing import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verify.recorder import Recorder
 
 SCHEDULERS = {
     "fork": ForkScheduler,
@@ -64,6 +67,7 @@ class Grid:
         rngs: RngRegistry,
         tracer: Tracer,
         client_host: str = CLIENT_HOST,
+        recorder: "Optional[Recorder]" = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -75,6 +79,9 @@ class Grid:
         self.rngs = rngs
         self.tracer = tracer
         self.client_host = client_host
+        #: The runtime-verification recorder observing this grid, if the
+        #: builder attached one (see :meth:`GridBuilder.with_monitors`).
+        self.recorder = recorder
 
     # -- accessors -------------------------------------------------------------
 
@@ -159,6 +166,7 @@ class GridBuilder:
         self._machines: list[dict] = []
         self._programs: dict[str, Program] = {}
         self._faults: list[FaultSpec] = []
+        self._recorder: "Optional[Recorder]" = None
 
     def add_machine(
         self,
@@ -208,10 +216,32 @@ class GridBuilder:
         self._faults.extend(specs)
         return self
 
+    def with_monitors(
+        self, recorder: "Optional[Recorder]" = None
+    ) -> "GridBuilder":
+        """Attach a runtime-verification recorder to the built grid.
+
+        The recorder (a fresh one unless given) becomes the
+        environment's probe: every message send/delivery/drop and every
+        instrumented protocol event is logged under vector clocks, ready
+        for :func:`repro.verify.evaluate`.  Recording adds no scheduled
+        events and draws no random numbers, so the simulation is
+        byte-identical to an unmonitored run.
+        """
+        if recorder is None:
+            from repro.verify.recorder import Recorder
+
+            recorder = Recorder()
+        self._recorder = recorder
+        return self
+
     def build(self) -> Grid:
         if not self._machines:
             raise ReproError("a grid needs at least one machine")
         env = Environment()
+        if self._recorder is not None:
+            env.probe = self._recorder
+            self._recorder.bind(env)
         rngs = RngRegistry(self.seed)
         latency_model = LatencyModel(
             base=self.latency,
@@ -258,6 +288,7 @@ class GridBuilder:
             rngs=rngs,
             tracer=tracer,
             client_host=self.client_host,
+            recorder=self._recorder,
         )
         if self._faults:
             schedule_faults(env, grid, self._faults)

@@ -37,6 +37,10 @@ class Message:
     sent_at: float | None = None
     delivered_at: float | None = None
     trace_ctx: "TraceContext | None" = None
+    #: Sender's vector clock at send time, stamped by the runtime
+    #: verification recorder (see ``repro.verify``); None when no
+    #: recorder is attached.
+    vclock: "dict[str, int] | None" = None
 
     def reply(self, kind: str, payload: Any = None) -> "Message":
         """Build a response message correlated with this request."""

@@ -214,10 +214,15 @@ class Network:
         message.sent_at = self.env.now
         self.metrics.counter("net.messages_sent_total").inc(kind=message.kind)
         self.metrics.rate("net.send_rate").tick()
+        probe = self.env.probe
+        if probe is not None:
+            probe.on_send(message)
 
         if any(rule(message) for rule in self._drop_rules):
             self.dropped_count += 1
             self.metrics.counter("net.messages_dropped_total").inc(reason="rule")
+            if probe is not None:
+                probe.on_drop(message, "rule")
             return
 
         delay = self.latency_model.latency(
@@ -228,16 +233,21 @@ class Network:
 
     def _deliver(self, event) -> None:
         message: Message = event.value
+        probe = self.env.probe
         # Reachability is evaluated at delivery time so that a partition
         # or crash occurring mid-flight loses the message.
         if not self._reachable(message.src.host, message.dst.host):
             self.dropped_count += 1
             self.metrics.counter("net.messages_dropped_total").inc(reason="unreachable")
+            if probe is not None:
+                probe.on_drop(message, "unreachable")
             return
         box = self._mailboxes.get(message.dst)
         if box is None:
             self.dropped_count += 1
             self.metrics.counter("net.messages_dropped_total").inc(reason="unbound")
+            if probe is not None:
+                probe.on_drop(message, "unbound")
             return
         message.delivered_at = self.env.now
         self.delivered_count += 1
@@ -246,4 +256,6 @@ class Network:
             self.metrics.histogram("net.delivery_latency_seconds").observe(
                 message.delivered_at - message.sent_at
             )
+        if probe is not None:
+            probe.on_deliver(message)
         box.put(message)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.broker.interactive_agent import InteractiveAgent
 from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
@@ -27,6 +27,9 @@ from repro.errors import ReproError
 from repro.faults import FaultSpec, HostCrash, MessageLoss, Overload, Partition, SlowLink
 from repro.gridenv import DEFAULT_EXECUTABLE, Grid, GridBuilder
 from repro.resilience.policy import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verify.recorder import Recorder
 
 #: Sites of the Figure-1-style testbed.  RM1/RM2 anchor the
 #: computation (required), RM3 degrades gracefully (interactive, may be
@@ -133,9 +136,19 @@ def figure1_request(grid: Grid) -> CoAllocationRequest:
     ])
 
 
-def run_trial(campaign: Campaign, seed: int) -> dict[str, Any]:
-    """One seeded trial of ``campaign``; returns its record."""
-    grid = _build_grid(campaign, seed)
+def run_trial(
+    campaign: Campaign,
+    seed: int,
+    recorder: "Optional[Recorder]" = None,
+) -> dict[str, Any]:
+    """One seeded trial of ``campaign``; returns its record.
+
+    Pass a fresh :class:`~repro.verify.Recorder` to observe the trial
+    under the runtime-verification monitors (``repro.verify`` does);
+    recording never perturbs the trial, so the returned record is
+    byte-identical either way (tested).
+    """
+    grid = _build_grid(campaign, seed, recorder=recorder)
     duroc = grid.duroc(
         retry=campaign.retry,
         submit_timeout=campaign.submit_timeout,
@@ -179,11 +192,18 @@ def run_trial(campaign: Campaign, seed: int) -> dict[str, Any]:
     return record
 
 
-def _build_grid(campaign: Campaign, seed: int) -> Grid:
+def _build_grid(
+    campaign: Campaign,
+    seed: int,
+    recorder: "Optional[Recorder]" = None,
+) -> Grid:
     builder = GridBuilder(seed=seed)
     for site in SITES:
         builder.add_machine(site, nodes=16)
-    return builder.with_faults(*campaign.faults).build()
+    builder.with_faults(*campaign.faults)
+    if recorder is not None:
+        builder.with_monitors(recorder)
+    return builder.build()
 
 
 def _classify(outcome: Any, requested: int, released: int) -> str:

@@ -11,7 +11,7 @@ co-allocation protocol tests rely on.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.simcore.events import (
@@ -22,6 +22,9 @@ from repro.simcore.events import (
     Timeout,
 )
 from repro.simcore.process import Process, ProcessGenerator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simcore.probe import Probe
 
 #: Sentinel "infinite" horizon for run().
 FOREVER = float("inf")
@@ -53,6 +56,9 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Runtime-verification probe (see :mod:`repro.simcore.probe`);
+        #: None means every instrumentation hook is a no-op.
+        self.probe: "Optional[Probe]" = None
 
     # -- time & introspection ---------------------------------------------
 

@@ -1,0 +1,74 @@
+"""The runtime-verification probe seam.
+
+A :class:`Probe` is the simulator's instrumentation interface: the
+network reports message sends/deliveries/drops, and protocol components
+report named events and state accesses.  The default is *no probe*
+(``Environment.probe is None``) and every hook below is a cheap no-op,
+so instrumented code behaves identically whether or not a run is being
+verified — exactly the contract ``NullTracer`` gives observability.
+
+The concrete recorder (which attaches vector clocks and builds the
+happens-before log) lives in :mod:`repro.verify.recorder`; this module
+only defines the seam so that low-level packages (``net``, ``core``)
+never import the verification layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+    from repro.simcore.environment import Environment
+
+
+class Probe:
+    """Base probe: every hook is a no-op.  Subclass and override."""
+
+    def on_send(self, message: "Message") -> None:
+        """A message entered the network."""
+
+    def on_deliver(self, message: "Message") -> None:
+        """A message reached its destination mailbox."""
+
+    def on_drop(self, message: "Message", reason: str) -> None:
+        """A message was lost (drop rule, partition, crash, unbound)."""
+
+    def event(self, node: str, name: str, attrs: dict[str, Any]) -> None:
+        """A named protocol event occurred at ``node``."""
+
+    def access(
+        self, node: str, resource: str, mode: str, attrs: dict[str, Any]
+    ) -> None:
+        """``node`` read (``mode='r'``) or wrote (``'w'``) ``resource``."""
+
+    def register_locus(self, endpoint: str, locus: str) -> None:
+        """Map an endpoint onto its owning locus of control."""
+
+
+def probe_of(env: "Environment") -> Optional[Probe]:
+    """The environment's installed probe, if any."""
+    return getattr(env, "probe", None)
+
+
+def emit(env: "Environment", node: str, name: str, **attrs: Any) -> None:
+    """Report a protocol event to the installed probe (no-op without one)."""
+    probe = getattr(env, "probe", None)
+    if probe is not None:
+        probe.event(node, name, attrs)
+
+
+def record_access(
+    env: "Environment", node: str, resource: str, mode: str, **attrs: Any
+) -> None:
+    """Report a state access to the installed probe (no-op without one)."""
+    probe = getattr(env, "probe", None)
+    if probe is not None:
+        probe.access(node, resource, mode, attrs)
+
+
+def register_locus(env: "Environment", endpoint: Any, locus: str) -> None:
+    """Tie ``endpoint`` to ``locus`` in the installed probe, if any."""
+    probe = getattr(env, "probe", None)
+    if probe is not None:
+        probe.register_locus(str(endpoint), locus)

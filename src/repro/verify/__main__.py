@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` dispatches to :mod:`repro.verify.cli`."""
+
+import sys
+
+from repro.verify.cli import main
+
+sys.exit(main())

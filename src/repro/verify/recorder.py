@@ -1,0 +1,201 @@
+"""The vector-clock recorder: a :class:`~repro.simcore.probe.Probe`.
+
+One :class:`Recorder` observes one run.  It maintains a vector clock
+per *locus of control* — a co-allocator job, a remote application
+process, a site service — ticks it on every observed event, stamps the
+sender's clock onto every :class:`~repro.net.message.Message` at send
+time (``Message.vclock``), and merges it into the receiver's clock at
+delivery.  The result is an append-only :class:`ProtoEvent` list whose
+clocks encode the run's happens-before relation exactly.
+
+Loci: components register their endpoints with
+:meth:`Recorder.register_locus` (the DUROC job registers its barrier
+port and GRAM-callback listener under one ``jobid@host`` locus, since
+its listener/driver/watchdog processes share state legitimately in the
+single-threaded simulation).  Unregistered endpoints are their own
+locus, which is the right granularity for spawned application
+processes — each binds a unique per-pid port.
+
+Everything here is deterministic: no wall clock, no RNG, ids from the
+event list's length.  Attaching a recorder never schedules events or
+draws random numbers, so a monitored run is byte-identical to an
+unmonitored one (tested).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.simcore.probe import Probe
+from repro.verify.events import (
+    ACCESS,
+    DELIVER,
+    DROP,
+    EVENT,
+    SEND,
+    ProtoEvent,
+)
+from repro.verify.vclock import VClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.message import Message
+    from repro.simcore.environment import Environment
+
+#: Payload fields worth keeping on message events (scalars only).
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _payload_summary(payload: Any) -> dict[str, Any]:
+    """Scalar fields of a dict payload, endpoints rendered as strings."""
+    if not isinstance(payload, dict):
+        return {}
+    out: dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, _SCALAR_TYPES) or value is None:
+            out[key] = value
+        elif hasattr(value, "host") and hasattr(value, "service"):
+            out[key] = str(value)
+    return out
+
+
+class Recorder(Probe):
+    """Record a run's protocol events under vector clocks."""
+
+    def __init__(self) -> None:
+        self.events: list[ProtoEvent] = []
+        self.env: "Optional[Environment]" = None
+        self._clocks: dict[str, VClock] = {}
+        self._locus: dict[str, str] = {}
+        self._last_on_node: dict[str, int] = {}
+        self._send_seq: dict[int, int] = {}
+        self._deliveries: dict[int, int] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind(self, env: "Environment") -> None:
+        """Attach to an environment (one recorder observes one run)."""
+        self.env = env
+
+    def register_locus(self, endpoint: str, locus: str) -> None:
+        self._locus[endpoint] = locus
+
+    def node_of(self, endpoint: Any) -> str:
+        """The locus an endpoint (or node label) resolves to."""
+        key = str(endpoint)
+        return self._locus.get(key, key)
+
+    # -- event recording ----------------------------------------------------
+
+    def _now(self) -> float:
+        return self.env.now if self.env is not None else 0.0
+
+    def _append(
+        self,
+        node: str,
+        kind: str,
+        name: str,
+        clock: VClock,
+        attrs: dict[str, Any],
+        link: Optional[int] = None,
+        advances_node: bool = True,
+    ) -> ProtoEvent:
+        seq = len(self.events) + 1
+        prev = self._last_on_node.get(node) if advances_node else None
+        event = ProtoEvent(
+            seq=seq,
+            time=self._now(),
+            node=node,
+            kind=kind,
+            name=name,
+            clock=clock,
+            attrs=attrs,
+            prev=prev,
+            link=link,
+        )
+        self.events.append(event)
+        if advances_node:
+            self._last_on_node[node] = seq
+        return event
+
+    def _tick(self, node: str) -> VClock:
+        clock = self._clocks.get(node, VClock()).tick(node)
+        self._clocks[node] = clock
+        return clock
+
+    # -- Probe interface ----------------------------------------------------
+
+    def on_send(self, message: "Message") -> None:
+        node = self.node_of(message.src)
+        clock = self._tick(node)
+        message.vclock = clock.as_dict()
+        attrs: dict[str, Any] = {
+            "msg_id": message.msg_id,
+            "src": str(message.src),
+            "dst": str(message.dst),
+        }
+        if message.corr_id is not None:
+            attrs["corr_id"] = message.corr_id
+        attrs.update(_payload_summary(message.payload))
+        event = self._append(node, SEND, message.kind, clock, attrs)
+        self._send_seq[message.msg_id] = event.seq
+
+    def on_deliver(self, message: "Message") -> None:
+        node = self.node_of(message.dst)
+        merged = self._clocks.get(node, VClock()).merge(message.vclock)
+        self._clocks[node] = merged
+        clock = self._tick(node)
+        attrs: dict[str, Any] = {
+            "msg_id": message.msg_id,
+            "src": str(message.src),
+            "dst": str(message.dst),
+            "copy": self._deliveries.get(message.msg_id, 0) + 1,
+        }
+        self._deliveries[message.msg_id] = attrs["copy"]
+        attrs.update(_payload_summary(message.payload))
+        self._append(
+            node, DELIVER, message.kind, clock, attrs,
+            link=self._send_seq.get(message.msg_id),
+        )
+
+    def on_drop(self, message: "Message", reason: str) -> None:
+        # Drops never advance any locus's clock — the destination did
+        # not observe anything.  Recorded on a pseudo-node for loss
+        # accounting, carrying the send-time clock.
+        clock = VClock(message.vclock) if message.vclock else VClock()
+        self._append(
+            "net",
+            DROP,
+            message.kind,
+            clock,
+            {
+                "msg_id": message.msg_id,
+                "src": str(message.src),
+                "dst": str(message.dst),
+                "reason": reason,
+            },
+            link=self._send_seq.get(message.msg_id),
+            advances_node=False,
+        )
+
+    def event(self, node: str, name: str, attrs: dict[str, Any]) -> None:
+        locus = self.node_of(node)
+        clock = self._tick(locus)
+        self._append(locus, EVENT, name, clock, dict(attrs))
+
+    def access(
+        self, node: str, resource: str, mode: str, attrs: dict[str, Any]
+    ) -> None:
+        locus = self.node_of(node)
+        clock = self._tick(locus)
+        merged = dict(attrs)
+        merged["mode"] = mode
+        self._append(locus, ACCESS, resource, clock, merged)
+
+    # -- convenience ---------------------------------------------------------
+
+    @property
+    def queue_exhausted(self) -> bool:
+        """True when the bound environment has no live events pending."""
+        if self.env is None:
+            return True
+        return self.env.peek() == float("inf")

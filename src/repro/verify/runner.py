@@ -1,0 +1,192 @@
+"""Drive monitored runs and reduce them to verification reports.
+
+:func:`verify_campaigns` replays the resilience fault campaigns
+(:mod:`repro.resilience.campaign`) with a fresh
+:class:`~repro.verify.recorder.Recorder` per trial and evaluates the
+full monitor suite over every run; :func:`verify_example` does the same
+for the quickstart/Figure-1 scenario.  Reports are canonical JSON
+(sorted keys, 2-space indent, trailing newline), so a verification
+sweep is byte-identical across repeated runs of the same seed — the CI
+``verify`` job asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.analysis.framework import Finding, Severity
+from repro.analysis.reporters import finding_payload, format_finding
+from repro.verify.events import EventLog, RunContext
+from repro.verify.monitors import Monitor, all_monitors, evaluate
+from repro.verify.recorder import Recorder
+
+#: Example scenarios verifiable by name (quickstart *is* Figure 1).
+EXAMPLES = ("quickstart", "figure1")
+
+
+def verify_recorder(
+    recorder: Recorder,
+    run_id: str,
+    monitors: Optional[Sequence[Monitor]] = None,
+    select: Optional[Iterable[str]] = None,
+    suppress: Optional[Iterable[str]] = None,
+) -> tuple[dict[str, Any], list[Finding]]:
+    """Evaluate one recorded run; returns (report entry, findings)."""
+    log = EventLog(recorder.events)
+    ctx = RunContext(
+        run_id=run_id,
+        queue_exhausted=recorder.queue_exhausted,
+        end_time=recorder.env.now if recorder.env is not None else 0.0,
+    )
+    findings = evaluate(
+        monitors if monitors is not None else all_monitors(),
+        log, ctx, select=select, suppress=suppress,
+    )
+    entry = {
+        "run": run_id,
+        "events": len(log),
+        "loci": len({event.node for event in log}),
+        "queue_exhausted": ctx.queue_exhausted,
+        "end_time": round(ctx.end_time, 6),
+        "findings": [finding_payload(f) for f in findings],
+    }
+    return entry, findings
+
+
+def verify_campaigns(
+    seed: int = 42,
+    trials: int = 3,
+    names: Optional[Sequence[str]] = None,
+    select: Optional[Iterable[str]] = None,
+    suppress: Optional[Iterable[str]] = None,
+) -> dict[str, Any]:
+    """Run the fault campaigns under monitors; returns the report."""
+    from repro.errors import ReproError
+    from repro.resilience.campaign import CAMPAIGNS, run_trial
+
+    if trials < 1:
+        raise ReproError(f"trials must be >= 1, got {trials!r}")
+    selected = list(names) if names else sorted(CAMPAIGNS)
+    unknown = [name for name in selected if name not in CAMPAIGNS]
+    if unknown:
+        raise ReproError(
+            f"unknown campaign(s) {unknown}; pick from {sorted(CAMPAIGNS)}"
+        )
+
+    report: dict[str, Any] = {
+        "harness": "repro.verify",
+        "scenario": "figure1",
+        "seed": seed,
+        "trials": trials,
+        "monitors": [monitor.name for monitor in all_monitors()],
+        "runs": [],
+    }
+    total = 0
+    for name in selected:
+        campaign = CAMPAIGNS[name]
+        for index in range(trials):
+            recorder = Recorder()
+            run_trial(campaign, seed + index, recorder=recorder)
+            entry, findings = verify_recorder(
+                recorder, f"{name}/seed{seed + index}",
+                select=select, suppress=suppress,
+            )
+            report["runs"].append(entry)
+            total += len(findings)
+    report["findings_total"] = total
+    return report
+
+
+def verify_example(
+    name: str = "quickstart",
+    seed: int = 42,
+    select: Optional[Iterable[str]] = None,
+    suppress: Optional[Iterable[str]] = None,
+) -> dict[str, Any]:
+    """Run the Figure-1 quickstart scenario under monitors."""
+    from repro.core import CoAllocationRequest
+    from repro.errors import ReproError
+    from repro.gridenv import GridBuilder
+
+    if name not in EXAMPLES:
+        raise ReproError(
+            f"unknown example {name!r}; pick from {list(EXAMPLES)}"
+        )
+
+    recorder = Recorder()
+    grid = (
+        GridBuilder(seed=seed)
+        .add_machine("RM1", nodes=16)
+        .add_machine("RM2", nodes=64)
+        .add_machine("RM3", nodes=64)
+        .with_monitors(recorder)
+        .build()
+    )
+    request = CoAllocationRequest.from_rsl(
+        """
+        +(&(resourceManagerContact=RM1:gatekeeper)
+           (count=1)(executable=duroc_app)
+           (subjobStartType=required))
+         (&(resourceManagerContact=RM2:gatekeeper)
+           (count=4)(executable=duroc_app)
+           (subjobStartType=interactive))
+         (&(resourceManagerContact=RM3:gatekeeper)
+           (count=4)(executable=duroc_app)
+           (subjobStartType=interactive))
+        """
+    )
+    duroc = grid.duroc()
+
+    def agent(env):
+        job = duroc.submit(request)
+        result = yield from job.commit()
+        yield from job.wait_done()
+        return result
+
+    grid.run(grid.process(agent(grid.env)))
+    entry, findings = verify_recorder(
+        recorder, f"{name}/seed{seed}", select=select, suppress=suppress
+    )
+    return {
+        "harness": "repro.verify",
+        "scenario": name,
+        "seed": seed,
+        "trials": 1,
+        "monitors": [monitor.name for monitor in all_monitors()],
+        "runs": [entry],
+        "findings_total": len(findings),
+    }
+
+
+def render_verification_json(report: dict[str, Any]) -> str:
+    """The report's canonical byte form: sorted keys, 2-space indent."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_verification_text(report: dict[str, Any]) -> str:
+    """Per-run summary lines, findings with witnesses, and a total."""
+    lines: list[str] = []
+    for entry in report["runs"]:
+        drained = "drained" if entry["queue_exhausted"] else "horizon"
+        lines.append(
+            f"{entry['run']}: {entry['events']} events across "
+            f"{entry['loci']} loci ({drained}, t_end={entry['end_time']:g}) "
+            f"-> {len(entry['findings'])} finding(s)"
+        )
+        for payload in entry["findings"]:
+            finding = Finding(
+                file=payload["file"],
+                line=payload["line"],
+                col=payload["col"],
+                rule=payload["rule"],
+                severity=Severity(payload["severity"]),
+                message=payload["message"],
+                witness=tuple(payload.get("witness", ())),
+            )
+            lines.append(format_finding(finding))
+    total = report["findings_total"]
+    lines.append(
+        f"{total} finding(s) across {len(report['runs'])} monitored run(s)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Vector clocks for the happens-before relation.
+
+A :class:`VClock` is an immutable mapping ``node -> count``.  The
+recorder maintains one clock per locus of control and ticks it on every
+observed event; message sends stamp the sender's clock onto the message
+and deliveries merge it into the receiver's.  With per-event ticks the
+standard result holds: event *a* happens-before event *b* iff
+``a.clock <= b.clock`` (componentwise) and the clocks differ.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+
+class VClock:
+    """An immutable vector clock."""
+
+    __slots__ = ("_clock",)
+
+    def __init__(self, clock: Mapping[str, int] | None = None) -> None:
+        self._clock: dict[str, int] = dict(clock) if clock else {}
+
+    # -- construction ------------------------------------------------------
+
+    def tick(self, node: str) -> "VClock":
+        """A new clock with ``node``'s component advanced by one."""
+        out = dict(self._clock)
+        out[node] = out.get(node, 0) + 1
+        return VClock(out)
+
+    def merge(self, other: "VClock | Mapping[str, int] | None") -> "VClock":
+        """Componentwise maximum of the two clocks."""
+        if other is None:
+            return self
+        items = other._clock if isinstance(other, VClock) else other
+        out = dict(self._clock)
+        for node, count in items.items():
+            if count > out.get(node, 0):
+                out[node] = count
+        return VClock(out)
+
+    # -- comparison --------------------------------------------------------
+
+    def leq(self, other: "VClock") -> bool:
+        """True iff every component of self is <= the other clock's."""
+        return all(
+            count <= other._clock.get(node, 0)
+            for node, count in self._clock.items()
+        )
+
+    def happens_before(self, other: "VClock") -> bool:
+        """Strictly-before: leq and not equal."""
+        return self.leq(other) and self._clock != other._clock
+
+    def concurrent(self, other: "VClock") -> bool:
+        """Neither clock precedes the other."""
+        return not self.leq(other) and not other.leq(self)
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def get(self, node: str, default: int = 0) -> int:
+        return self._clock.get(node, default)
+
+    def __getitem__(self, node: str) -> int:
+        return self._clock.get(node, 0)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._clock)
+
+    def __len__(self) -> int:
+        return len(self._clock)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VClock):
+            return NotImplemented
+        return self._clock == other._clock
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._clock.items())))
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot (for message stamping / serialization)."""
+        return dict(self._clock)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{node}:{count}" for node, count in sorted(self._clock.items())
+        )
+        return f"<VClock {inner}>"

@@ -98,3 +98,48 @@ def test_suppression_comment(run_checker):
         "import time\nwall = time.time()  # repro: noqa det-wallclock\n",
     )
     assert findings == []
+
+
+def test_deprecation_shim_is_skipped(run_checker):
+    """A deprecated re-export shim may import what it forwards."""
+    findings = run_checker(
+        DeterminismChecker(),
+        '''
+        """Deprecated helpers -- use repro.faults instead."""
+
+        import warnings
+        import random  # re-exported for one release
+
+        def old_api():
+            warnings.warn("old_api is deprecated", DeprecationWarning)
+            return random.random()
+        ''',
+    )
+    assert findings == []
+
+
+def test_deprecated_docstring_without_warning_still_checked(run_checker):
+    """Claiming deprecation in prose alone does not buy an exemption."""
+    findings = run_checker(
+        DeterminismChecker(),
+        '''
+        """Deprecated, allegedly."""
+
+        import random
+        ''',
+    )
+    assert rules_of(findings) == {"det-stdlib-random"}
+
+
+def test_real_shim_modules_stay_clean():
+    """Regression: the shipped shims must never trip the det rules."""
+    from pathlib import Path
+
+    from repro.analysis.framework import Analyzer
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    shims = [src / "machine" / "faults.py", src / "net" / "faults.py"]
+    for shim in shims:
+        assert shim.is_file(), shim
+    report = Analyzer([DeterminismChecker()]).run([str(s) for s in shims])
+    assert report.findings == []

@@ -52,7 +52,13 @@ def test_line_suppression(tmp_path):
         "print(4)  # repro: noqa other-rule\n"
     )
     report = Analyzer([PrintChecker()]).run([str(path)])
-    assert [f.line for f in report.findings] == [1, 4]
+    # Line 4's noqa names a rule no checker declares: the print finding
+    # survives and the typo'd suppression itself draws a warning.
+    assert [(f.line, f.rule) for f in report.findings] == [
+        (1, "toy-print"),
+        (4, "noqa-unknown-rule"),
+        (4, "toy-print"),
+    ]
     assert report.suppressed == 2
 
 

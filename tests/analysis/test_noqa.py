@@ -1,0 +1,114 @@
+"""``# repro: noqa`` edge cases: id lists, typos, continuation lines."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.framework import Analyzer, Checker, Rule, Severity
+
+from .conftest import rules_of
+
+
+class CallChecker(Checker):
+    """Toy checker with two rules, to exercise id-list suppression."""
+
+    name = "toy"
+    rules = (
+        Rule("toy-print", "no print", Severity.ERROR),
+        Rule("toy-eval", "no eval", Severity.ERROR),
+    )
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id == "print":
+                    yield self.finding(module, node, "toy-print", "print call")
+                elif node.func.id == "eval":
+                    yield self.finding(module, node, "toy-eval", "eval call")
+
+
+def run(source: str, tmp_path, select=None):
+    path = tmp_path / "s.py"
+    path.write_text(source, encoding="utf-8")
+    return Analyzer([CallChecker()], select=select).run([str(path)])
+
+
+def test_multiple_ids_on_one_line(tmp_path):
+    report = run(
+        "print(eval('1'))  # repro: noqa toy-print, toy-eval\n", tmp_path
+    )
+    assert report.findings == []
+    assert report.suppressed == 2
+
+
+def test_multiple_ids_suppress_only_named_rules(tmp_path):
+    report = run("print(eval('1'))  # repro: noqa toy-eval\n", tmp_path)
+    assert rules_of(report.findings) == {"toy-print"}
+    assert report.suppressed == 1
+
+
+def test_unknown_id_warns_and_does_not_suppress(tmp_path):
+    report = run("print(1)  # repro: noqa toy-pritn\n", tmp_path)
+    assert rules_of(report.findings) == {"toy-print", "noqa-unknown-rule"}
+    warning = next(
+        f for f in report.findings if f.rule == "noqa-unknown-rule"
+    )
+    assert warning.severity is Severity.WARNING
+    assert "toy-pritn" in warning.message
+    assert report.suppressed == 0
+
+
+def test_unknown_id_warning_is_itself_suppressible(tmp_path):
+    report = run(
+        "print(1)  # repro: noqa toy-print, legacy-rule, noqa-unknown-rule\n",
+        tmp_path,
+    )
+    assert report.findings == []
+    assert report.suppressed == 2  # the print finding and the warning
+
+
+def test_blanket_noqa_never_warns(tmp_path):
+    report = run("print(1)  # repro: noqa\n", tmp_path)
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_noqa_on_continuation_line(tmp_path):
+    # The finding anchors at the call's first line; the suppression sits
+    # on a continuation line the construct spans.
+    report = run(
+        "print(\n"
+        "    'a',\n"
+        "    'b',  # repro: noqa toy-print\n"
+        ")\n",
+        tmp_path,
+    )
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_noqa_on_continuation_line_wrong_rule_does_not_suppress(tmp_path):
+    report = run(
+        "print(\n"
+        "    'a',  # repro: noqa toy-eval\n"
+        ")\n",
+        tmp_path,
+    )
+    assert rules_of(report.findings) == {"toy-print"}
+
+
+def test_noqa_beyond_construct_end_does_not_suppress(tmp_path):
+    report = run(
+        "print(1)\n"
+        "x = 2  # repro: noqa toy-print\n",
+        tmp_path,
+    )
+    assert rules_of(report.findings) == {"toy-print"}
+
+
+def test_unknown_id_selection_follows_family(tmp_path):
+    # --select toy filters out the framework's noqa warning family.
+    report = run(
+        "print(1)  # repro: noqa toy-typo\n", tmp_path, select=["toy"]
+    )
+    assert rules_of(report.findings) == {"toy-print"}

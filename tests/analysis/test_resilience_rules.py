@@ -1,0 +1,127 @@
+"""res-* rules: bare except around RPC, literal-seeded RNG streams."""
+
+from __future__ import annotations
+
+from repro.analysis.resilience_rules import ResilienceChecker
+
+from .conftest import rules_of
+
+
+def test_bare_except_around_rpc_flagged(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        def poll(gram, handle):
+            try:
+                yield from gram.status(handle, timeout=5.0)
+            except:
+                pass
+        """,
+    )
+    assert rules_of(findings) == {"res-bare-except"}
+    assert "status" in findings[0].message
+
+
+def test_bare_except_without_rpc_is_quiet(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        def parse(text):
+            try:
+                return int(text)
+            except:
+                return None
+        """,
+    )
+    assert findings == []
+
+
+def test_typed_except_around_rpc_is_quiet(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        def poll(gram, handle, RPCTimeout):
+            try:
+                yield from gram.status(handle)
+            except RPCTimeout:
+                pass
+        """,
+    )
+    assert findings == []
+
+
+def test_rpc_helper_name_flagged(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        def call(client):
+            try:
+                return client.rpc_invoke("x")
+            except:
+                return None
+        """,
+    )
+    assert rules_of(findings) == {"res-bare-except"}
+
+
+def test_literal_seed_default_rng_flagged(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        import numpy as np
+        rng = np.random.default_rng(0)
+        """,
+    )
+    assert rules_of(findings) == {"res-literal-seed"}
+
+
+def test_literal_seed_registry_flagged(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        from repro.simcore.rng import RngRegistry
+        rngs = RngRegistry(seed=1234)
+        """,
+    )
+    assert rules_of(findings) == {"res-literal-seed"}
+
+
+def test_derived_seed_is_quiet(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        import numpy as np
+        from repro.simcore.rng import RngRegistry
+
+        def build(seed):
+            rngs = RngRegistry(seed)
+            return np.random.default_rng(seed + 1)
+        """,
+    )
+    assert findings == []
+
+
+def test_rng_module_itself_exempt(run_checker):
+    findings = run_checker(
+        ResilienceChecker(),
+        """
+        import numpy as np
+        gen = np.random.default_rng(0)
+        """,
+        filename="repro/simcore/rng.py",
+    )
+    assert findings == []
+
+
+def test_source_tree_is_res_clean():
+    """The shipped package must satisfy its own resilience lints."""
+    from pathlib import Path
+
+    from repro.analysis.framework import Analyzer
+
+    src = Path(__file__).resolve().parents[2] / "src" / "repro"
+    # select=["res"] keeps the run focused: with only this checker
+    # loaded, suppressions naming other families' rules would otherwise
+    # draw noqa-unknown-rule warnings.
+    report = Analyzer([ResilienceChecker()], select=["res"]).run([str(src)])
+    assert report.findings == []

@@ -1,0 +1,50 @@
+"""Vector-clock algebra: ticks, merges, and the happens-before order."""
+
+from __future__ import annotations
+
+from repro.verify import VClock
+
+
+def test_tick_is_immutable():
+    a = VClock()
+    b = a.tick("n1")
+    assert a.as_dict() == {}
+    assert b.as_dict() == {"n1": 1}
+    assert b.tick("n1").as_dict() == {"n1": 2}
+
+
+def test_merge_takes_componentwise_max():
+    a = VClock({"x": 3, "y": 1})
+    b = VClock({"y": 4, "z": 2})
+    assert a.merge(b).as_dict() == {"x": 3, "y": 4, "z": 2}
+    assert a.merge(None) is a
+    assert a.merge({"x": 1}).as_dict() == a.as_dict()
+
+
+def test_happens_before_and_concurrency():
+    send = VClock({"a": 1})
+    recv = send.merge(VClock({"b": 1})).tick("b")
+    other = VClock({"c": 5})
+    assert send.happens_before(recv)
+    assert not recv.happens_before(send)
+    assert send.concurrent(other)
+    assert not send.concurrent(send)
+    assert not send.happens_before(send)
+
+
+def test_leq_treats_missing_components_as_zero():
+    assert VClock({"a": 1}).leq(VClock({"a": 1, "b": 9}))
+    assert not VClock({"a": 1, "b": 1}).leq(VClock({"a": 1}))
+    assert VClock().leq(VClock({"a": 1}))
+
+
+def test_mapping_protocol_and_hash():
+    clock = VClock({"a": 2, "b": 1})
+    assert clock["a"] == 2
+    assert clock["missing"] == 0
+    assert clock.get("b") == 1
+    assert set(clock) == {"a", "b"}
+    assert len(clock) == 2
+    assert clock == VClock({"b": 1, "a": 2})
+    assert hash(clock) == hash(VClock({"a": 2, "b": 1}))
+    assert "a:2" in repr(clock)
