@@ -12,7 +12,9 @@ Run:  python examples/quickstart.py
 
 Besides the console narration, the run exports its trace and metrics to
 ``results/quickstart_trace.jsonl`` / ``results/quickstart_metrics.json``
-for inspection with ``python -m repro.obs``.
+for inspection with ``python -m repro.obs``, and its cost profile to
+``results/quickstart_profile.json`` (plus a collapsed-stack
+``.collapsed`` for flamegraph tools) for ``python -m repro.prof``.
 """
 
 from pathlib import Path
@@ -20,6 +22,7 @@ from pathlib import Path
 from repro.core import CoAllocationRequest, DurocEvent, make_program
 from repro.gridenv import GridBuilder
 from repro.obs.export import write_jsonl, write_metrics
+from repro.prof import profile_grid, write_collapsed
 from repro.rsl import pretty
 from repro.verify import EventLog, RunContext, all_monitors, evaluate
 
@@ -50,6 +53,7 @@ def main() -> None:
         .program("master", make_program(startup=0.5, body=body))
         .program("worker", make_program(startup=0.5, body=body))
         .with_monitors()
+        .with_profiling()
         .build()
     )
 
@@ -117,13 +121,19 @@ def main() -> None:
     for finding in findings:
         print(f"  {finding.rule}: {finding.message}")
 
-    # 6. Export the trace and metrics for ``python -m repro.obs``.
+    # 6. Export the trace and metrics for ``python -m repro.obs``, and
+    #    the cost profile for ``python -m repro.prof``.
     trace_path = write_jsonl(grid.tracer, RESULTS / "quickstart_trace.jsonl")
     metrics_path = write_metrics(
         grid.tracer.metrics.snapshot(), RESULTS / "quickstart_metrics.json"
     )
+    profile = profile_grid(grid, meta={"source": "examples/quickstart.py", "seed": 42})
+    profile_path = profile.write(RESULTS / "quickstart_profile.json")
+    collapsed_path = write_collapsed(profile, RESULTS / "quickstart_profile.collapsed")
     print(f"Trace written to {trace_path}")
     print(f"Metrics written to {metrics_path}")
+    print(f"Profile written to {profile_path}")
+    print(f"Collapsed stacks written to {collapsed_path}")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from repro.simcore.rng import RngRegistry
 from repro.simcore.tracing import NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.prof.counters import OpCounters
     from repro.verify.recorder import Recorder
 
 SCHEDULERS = {
@@ -68,6 +69,7 @@ class Grid:
         tracer: Tracer,
         client_host: str = CLIENT_HOST,
         recorder: "Optional[Recorder]" = None,
+        counters: "Optional[OpCounters]" = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -82,6 +84,9 @@ class Grid:
         #: The runtime-verification recorder observing this grid, if the
         #: builder attached one (see :meth:`GridBuilder.with_monitors`).
         self.recorder = recorder
+        #: The op-count probe observing this grid, if the builder
+        #: attached one (see :meth:`GridBuilder.with_profiling`).
+        self.counters = counters
 
     # -- accessors -------------------------------------------------------------
 
@@ -167,6 +172,7 @@ class GridBuilder:
         self._programs: dict[str, Program] = {}
         self._faults: list[FaultSpec] = []
         self._recorder: "Optional[Recorder]" = None
+        self._counters: "Optional[OpCounters]" = None
 
     def add_machine(
         self,
@@ -235,13 +241,41 @@ class GridBuilder:
         self._recorder = recorder
         return self
 
+    def with_profiling(
+        self, counters: "Optional[OpCounters]" = None
+    ) -> "GridBuilder":
+        """Attach machine-independent op counters to the built grid.
+
+        The counters (fresh :class:`~repro.prof.counters.OpCounters`
+        unless given) observe the kernel and network through the probe
+        seam — events processed, heap high-water, message traffic —
+        without perturbing the run.  Composes with
+        :meth:`with_monitors`: both observers share the environment
+        through a :class:`~repro.simcore.probe.FanoutProbe`.
+        """
+        if counters is None:
+            from repro.prof.counters import OpCounters
+
+            counters = OpCounters()
+        self._counters = counters
+        return self
+
     def build(self) -> Grid:
         if not self._machines:
             raise ReproError("a grid needs at least one machine")
         env = Environment()
+        probes = []
         if self._recorder is not None:
-            env.probe = self._recorder
+            probes.append(self._recorder)
             self._recorder.bind(env)
+        if self._counters is not None:
+            probes.append(self._counters)
+        if len(probes) == 1:
+            env.probe = probes[0]
+        elif probes:
+            from repro.simcore.probe import FanoutProbe
+
+            env.probe = FanoutProbe(probes)
         rngs = RngRegistry(self.seed)
         latency_model = LatencyModel(
             base=self.latency,
@@ -289,6 +323,7 @@ class GridBuilder:
             tracer=tracer,
             client_host=self.client_host,
             recorder=self._recorder,
+            counters=self._counters,
         )
         if self._faults:
             schedule_faults(env, grid, self._faults)

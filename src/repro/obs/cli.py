@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from repro.obs.export import TraceDump, load_jsonl, span_record
+from repro.obs.metrics import histogram_summary
 from repro.obs.query import (
     critical_path,
     parentage,
@@ -136,7 +137,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except json.JSONDecodeError as exc:
             parser.error(f"cannot parse {path}: {exc}")
         if args.format == "json":
-            _emit(json.dumps(snapshot, sort_keys=True, indent=2))
+            _emit(json.dumps(_with_summaries(snapshot), sort_keys=True, indent=2))
         else:
             _emit(render_metrics(snapshot))
         return 0 if snapshot.get("metrics") else 1
@@ -220,6 +221,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 1
     return 0
+
+
+def _with_summaries(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Copy of the snapshot with p50/p90/p99 on every histogram value."""
+    out = dict(snapshot)
+    out["metrics"] = {}
+    for name, entry in snapshot.get("metrics", {}).items():
+        if entry.get("type") != "histogram":
+            out["metrics"][name] = entry
+            continue
+        entry = dict(entry)
+        entry["values"] = [
+            {**value, "summary": histogram_summary(value)}
+            for value in entry.get("values", [])
+        ]
+        out["metrics"][name] = entry
+    return out
 
 
 def _tree_record(node: Any) -> dict[str, Any]:

@@ -282,6 +282,42 @@ class WindowedRate:
         return {"type": self.kind, "help": self.help, "values": values}
 
 
+#: Quantiles reported in histogram summaries (text and JSON exports).
+SUMMARY_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+def histogram_summary(
+    value: Dict[str, Any],
+    quantiles: tuple[float, ...] = SUMMARY_QUANTILES,
+) -> Dict[str, float]:
+    """p50/p90/p99 (upper bucket bounds) from one snapshot value entry.
+
+    Mirrors :meth:`Histogram.quantile` — nearest rank over the
+    cumulative bucket counts, the recorded max beyond the last finite
+    bucket — but works on the serialized snapshot, so exported metrics
+    files can be summarized without the live registry.
+    """
+    count = int(value.get("count", 0))
+    buckets = value.get("buckets", [])
+    out: Dict[str, float] = {}
+    for q in quantiles:
+        key = f"p{q * 100:g}"
+        if count == 0:
+            out[key] = 0.0
+            continue
+        rank = max(1, math.ceil(count * q))
+        result = float(value.get("max", 0.0))
+        for bucket in buckets:
+            upper = bucket.get("le")
+            if upper == "+Inf":
+                continue
+            if int(bucket.get("count", 0)) >= rank:
+                result = float(upper)
+                break
+        out[key] = result
+    return out
+
+
 Instrument = Any  # Counter | Gauge | Histogram | WindowedRate
 
 

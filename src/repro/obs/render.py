@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Optional, Sequence
 
+from repro.obs.metrics import histogram_summary
 from repro.obs.query import NameStats, SpanNode, critical_path
 from repro.simcore.tracing import Mark, Span
 
@@ -147,9 +148,16 @@ def render_metrics(snapshot: dict[str, Any]) -> str:
                 else ""
             )
             if kind == "histogram":
+                summary = histogram_summary(value)
+                quantiles = " ".join(
+                    f"{key}={_fmt(summary[key])}" for key in sorted(
+                        summary, key=lambda k: float(k[1:])
+                    )
+                )
                 body = (
                     f"count={value.get('count')} sum={_fmt(value.get('sum', 0.0))} "
-                    f"min={_fmt(value.get('min', 0.0))} max={_fmt(value.get('max', 0.0))}"
+                    f"min={_fmt(value.get('min', 0.0))} max={_fmt(value.get('max', 0.0))} "
+                    f"{quantiles}"
                 )
             elif kind == "gauge":
                 body = (

@@ -1,0 +1,48 @@
+"""Performance profiling and regression tracking (``repro.prof``).
+
+The paper's entire evaluation is cost attribution — Fig. 3 splits a
+GRAM submission into auth/misc/initgroups/fork, Fig. 4 charts DUROC
+co-allocation cost against subjob count.  This package turns that kind
+of question into a first-class artifact: a run's span tree is
+aggregated into a deterministic :class:`~repro.prof.profile.Profile`
+(inclusive/exclusive simulated time and call counts per span *path*),
+two profiles can be diffed with per-path regression thresholds
+(:mod:`repro.prof.diff`), and a seeded benchmark suite
+(:mod:`repro.prof.bench`) keeps checked-in baselines under
+``benchmarks/baselines/`` that the CI perf gate enforces.
+
+Time is attributed in *simulated* seconds and machine-independent op
+counts (:mod:`repro.prof.counters`), never wall-clock, so every number
+here is byte-reproducible from the root seed.  See ``python -m
+repro.prof --help`` and the "Profiling & regression tracking" section
+of ``docs/OBSERVABILITY.md``.
+
+``repro.prof.bench`` is imported lazily (it pulls in the resilience
+campaigns); the data-model layers below have no dependencies above
+``repro.obs``.
+"""
+
+from repro.prof.collapse import collapsed_stacks, write_collapsed
+from repro.prof.counters import OpCounters
+from repro.prof.diff import DiffEntry, ProfileDiff, diff_profiles
+from repro.prof.profile import (
+    PathStats,
+    Profile,
+    counters_from_metrics,
+    profile_grid,
+    profile_spans,
+)
+
+__all__ = [
+    "DiffEntry",
+    "OpCounters",
+    "PathStats",
+    "Profile",
+    "ProfileDiff",
+    "collapsed_stacks",
+    "counters_from_metrics",
+    "diff_profiles",
+    "profile_grid",
+    "profile_spans",
+    "write_collapsed",
+]

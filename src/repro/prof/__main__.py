@@ -1,0 +1,8 @@
+"""``python -m repro.prof`` dispatches to :mod:`repro.prof.cli`."""
+
+import sys
+
+from repro.prof.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

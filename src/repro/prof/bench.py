@@ -1,0 +1,350 @@
+"""The seeded benchmark suite behind the CI perf gate.
+
+Each scenario below runs a deterministic simulated workload with
+tracing and op counters attached and reduces it to a
+:class:`~repro.prof.profile.Profile`.  The checked-in baselines under
+``benchmarks/baselines/`` are regenerated with ``python -m repro.prof
+bench --update``; a plain ``bench`` run re-profiles every scenario,
+diffs against its baseline, and fails on regression — that, run twice
+and ``cmp``-ed, is the CI ``perf`` job.
+
+The suite also emits the repo's perf-trajectory snapshot
+(``BENCH_5.json``): a compact, deterministic digest of every scenario
+(makespan, span counts, op counts, top self-time paths) that future
+revisions can be compared against.
+
+Simulated numbers only — the one exception is the optional
+``--wallclock`` micro-bench mode, which times the simulator's own hot
+paths (event heap, network delivery) on the host clock.  Those numbers
+are machine-dependent by design and never checked against baselines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.gram.states import JobState
+from repro.gridenv import DEFAULT_EXECUTABLE, Grid, GridBuilder
+from repro.prof.diff import ProfileDiff, diff_profiles
+from repro.prof.profile import Profile, profile_grid
+
+#: Default root seed for the suite (matches the chaos harness).
+DEFAULT_SEED = 42
+
+#: Where the checked-in baselines live, relative to the repo root.
+BASELINE_DIR = Path("benchmarks") / "baselines"
+
+#: The perf-trajectory snapshot emitted by this PR's suite.
+SNAPSHOT_FORMAT = "repro.prof.bench/1"
+
+#: Counters surfaced in the snapshot digest (absent ones are skipped).
+SNAPSHOT_COUNTERS = (
+    "sim.events_processed",
+    "sim.heap_high_water",
+    "net.messages_delivered",
+    "rpc.round_trips",
+    "resilience.retries",
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, seeded workload producing a profile."""
+
+    name: str
+    description: str
+    build: Callable[[int], Profile]
+
+    def run(self, seed: int) -> Profile:
+        return self.build(seed)
+
+
+def _meta(name: str, seed: int) -> dict[str, Any]:
+    return {"source": "repro.prof.bench", "scenario": name, "seed": seed}
+
+
+def _profiled_builder(seed: int) -> GridBuilder:
+    return GridBuilder(seed=seed).with_profiling()
+
+
+def _run_fig3_gram(seed: int) -> Profile:
+    """Fig. 3 shape: one single-process GRAM submission, to ACTIVE."""
+    grid = _profiled_builder(seed).add_machine("origin", nodes=64).build()
+    client = grid.gram_client()
+    contact = grid.site("origin").contact
+    rsl = (
+        f"&(resourceManagerContact={contact})"
+        f"(count=1)(executable={DEFAULT_EXECUTABLE})"
+    )
+
+    def scenario(env):
+        handle = yield from client.submit(contact, rsl)
+        yield from client.wait_for_state(handle, JobState.ACTIVE, poll=0.005)
+
+    grid.run(grid.process(scenario(grid.env)))
+    return profile_grid(grid, meta=_meta("fig3_gram", seed))
+
+
+def _coallocate(grid: Grid, request) -> None:
+    duroc = grid.duroc()
+
+    def agent(env):
+        job = duroc.submit(request)
+        yield from job.commit()
+        yield from job.wait_done()
+
+    grid.run(grid.process(agent(grid.env)))
+
+
+def _figure1_request(grid: Grid):
+    from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
+
+    def spec(site: str, count: int, start_type: SubjobType) -> SubjobSpec:
+        return SubjobSpec(
+            contact=grid.site(site).contact,
+            count=count,
+            executable=DEFAULT_EXECUTABLE,
+            start_type=start_type,
+        )
+
+    return CoAllocationRequest([
+        spec("RM1", 1, SubjobType.REQUIRED),
+        spec("RM2", 4, SubjobType.INTERACTIVE),
+        spec("RM3", 4, SubjobType.INTERACTIVE),
+    ])
+
+
+def _run_figure1(seed: int) -> Profile:
+    """The quickstart shape: a three-subjob DUROC co-allocation."""
+    grid = (
+        _profiled_builder(seed)
+        .add_machine("RM1", nodes=16)
+        .add_machine("RM2", nodes=64)
+        .add_machine("RM3", nodes=64)
+        .build()
+    )
+    _coallocate(grid, _figure1_request(grid))
+    return profile_grid(grid, meta=_meta("figure1", seed))
+
+
+def _run_duroc_scaling(seed: int) -> Profile:
+    """Fig. 4 shape: co-allocation across six sites (cost vs. fan-out)."""
+    from repro.core.request import CoAllocationRequest, SubjobSpec, SubjobType
+
+    builder = _profiled_builder(seed)
+    sites = [f"RM{i}" for i in range(1, 7)]
+    for site in sites:
+        builder.add_machine(site, nodes=16)
+    grid = builder.build()
+    request = CoAllocationRequest([
+        SubjobSpec(
+            contact=grid.site(site).contact,
+            count=2,
+            executable=DEFAULT_EXECUTABLE,
+            start_type=SubjobType.REQUIRED,
+        )
+        for site in sites
+    ])
+    _coallocate(grid, request)
+    return profile_grid(grid, meta=_meta("duroc_scaling", seed))
+
+
+def _run_campaign_baseline(seed: int) -> Profile:
+    """The chaos harness's clean Figure-1 trial, profiled."""
+    from repro.resilience.campaign import CAMPAIGNS, profile_trial
+
+    profile = profile_trial(CAMPAIGNS["baseline"], seed)
+    profile.meta.update(_meta("campaign_baseline", seed))
+    return profile
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "fig3_gram",
+            "single-process GRAM submission (the Fig. 3 cost breakdown)",
+            _run_fig3_gram,
+        ),
+        Scenario(
+            "figure1",
+            "three-subjob DUROC co-allocation (the quickstart shape)",
+            _run_figure1,
+        ),
+        Scenario(
+            "duroc_scaling",
+            "six-subjob required co-allocation (the Fig. 4 shape)",
+            _run_duroc_scaling,
+        ),
+        Scenario(
+            "campaign_baseline",
+            "clean fault-campaign trial under the retrying agent",
+            _run_campaign_baseline,
+        ),
+    )
+}
+
+
+def select_scenarios(names: Optional[Sequence[str]] = None) -> list[Scenario]:
+    if not names:
+        return [SCENARIOS[name] for name in sorted(SCENARIOS)]
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ReproError(
+            f"unknown scenario(s) {unknown}; pick from {sorted(SCENARIOS)}"
+        )
+    return [SCENARIOS[name] for name in names]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One scenario's run: its profile and the baseline comparison."""
+
+    scenario: Scenario
+    profile: Profile
+    baseline: Optional[Profile]
+    diff: Optional[ProfileDiff]
+
+    @property
+    def regressed(self) -> bool:
+        return self.diff is not None and bool(self.diff.regressions)
+
+    @property
+    def missing_baseline(self) -> bool:
+        return self.baseline is None
+
+
+def run_bench(
+    seed: int = DEFAULT_SEED,
+    names: Optional[Sequence[str]] = None,
+    baseline_dir: Path = BASELINE_DIR,
+    threshold_pct: float = 10.0,
+) -> list[BenchResult]:
+    """Run the selected scenarios and diff each against its baseline."""
+    results = []
+    for scenario in select_scenarios(names):
+        profile = scenario.run(seed)
+        baseline_path = Path(baseline_dir) / f"{scenario.name}.json"
+        baseline = Profile.load(baseline_path) if baseline_path.is_file() else None
+        diff = (
+            diff_profiles(baseline, profile, threshold_pct=threshold_pct)
+            if baseline is not None
+            else None
+        )
+        results.append(BenchResult(scenario, profile, baseline, diff))
+    return results
+
+
+def update_baselines(
+    seed: int = DEFAULT_SEED,
+    names: Optional[Sequence[str]] = None,
+    baseline_dir: Path = BASELINE_DIR,
+) -> list[Path]:
+    """Regenerate the checked-in baselines; returns the paths written."""
+    return [
+        scenario.run(seed).write(Path(baseline_dir) / f"{scenario.name}.json")
+        for scenario in select_scenarios(names)
+    ]
+
+
+# -- the perf-trajectory snapshot --------------------------------------------
+
+
+def snapshot(results: Sequence[BenchResult], seed: int) -> dict[str, Any]:
+    """The ``BENCH_5.json`` digest: deterministic, diffable, compact."""
+    scenarios: dict[str, Any] = {}
+    for result in results:
+        profile = result.profile
+        scenarios[result.scenario.name] = {
+            "total_time": profile.total_time,
+            "span_count": profile.span_count,
+            "paths": len(profile.paths),
+            "counters": {
+                name: profile.counters[name]
+                for name in SNAPSHOT_COUNTERS
+                if name in profile.counters
+            },
+            "top_exclusive": [
+                {"path": stats.path, "exclusive": stats.exclusive}
+                for stats in profile.top_exclusive(5)
+            ],
+        }
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "bench": "repro.prof",
+        "pr": 5,
+        "seed": seed,
+        "scenarios": scenarios,
+    }
+
+
+def write_snapshot(
+    results: Sequence[BenchResult], seed: int, path: Path
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot(results, seed), sort_keys=True, indent=2) + "\n")
+    return path
+
+
+# -- wall-clock micro-benchmarks ---------------------------------------------
+
+# The simulator's own hot paths, timed on the host clock.  Explicitly
+# machine-dependent: numbers are informational, never gated or written
+# into baselines, and the wall-clock reads are confined to this section.
+
+
+def _bench_event_heap(ops: int) -> float:
+    """Seconds to schedule and drain ``ops`` timeouts through the kernel."""
+    import time
+
+    from repro.simcore.environment import Environment
+
+    env = Environment()
+    start = time.perf_counter()  # repro: noqa det-wallclock
+    for i in range(ops):
+        env.timeout((i % 97) * 1e-4)
+    env.run()
+    return time.perf_counter() - start  # repro: noqa det-wallclock
+
+
+def _bench_network_delivery(ops: int) -> float:
+    """Seconds to deliver ``ops`` loopback messages through the network."""
+    import time
+
+    from repro.net.address import Endpoint
+    from repro.net.message import Message
+    from repro.net.network import Network
+    from repro.simcore.environment import Environment
+
+    env = Environment()
+    network = Network(env)
+    network.add_host("a")
+    src = Endpoint("a", "bench-src")
+    dst = Endpoint("a", "bench-dst")
+    network.bind(dst)
+    start = time.perf_counter()  # repro: noqa det-wallclock
+    for i in range(ops):
+        network.send(Message(src=src, dst=dst, kind="bench", payload=i))
+    env.run()
+    return time.perf_counter() - start  # repro: noqa det-wallclock
+
+
+def run_microbench(ops: int = 20_000) -> dict[str, dict[str, float]]:
+    """Time the simulator hot paths; returns {bench: {seconds, ops_per_sec}}."""
+    out: dict[str, dict[str, float]] = {}
+    for name, fn in (
+        ("event_heap", _bench_event_heap),
+        ("network_delivery", _bench_network_delivery),
+    ):
+        elapsed = fn(ops)
+        out[name] = {
+            "ops": float(ops),
+            "seconds": elapsed,
+            "ops_per_sec": ops / elapsed if elapsed > 0 else float("inf"),
+        }
+    return out

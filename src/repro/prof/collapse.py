@@ -1,0 +1,54 @@
+"""Collapsed-stack (flamegraph) export.
+
+One line per span path — ``name;name;name value`` — the format consumed
+by ``flamegraph.pl``, speedscope, and every inferno-style renderer.
+Values are **exclusive** simulated time in integer microseconds (the
+tools expect integer sample counts; 1 µs resolution loses nothing at
+the simulator's modeled costs).  Lines are sorted, so the export is
+byte-identical across runs of the same seed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.prof.profile import Profile
+
+#: Simulated seconds → integer value units (microseconds).
+SCALE = 1_000_000
+
+
+def collapsed_stacks(profile: Profile) -> str:
+    """The profile as collapsed-stack text (trailing newline included).
+
+    Zero-weight interior paths are kept: they cost nothing but preserve
+    the full call structure for tools that reconstruct the hierarchy
+    from the lines alone.
+    """
+    lines = [
+        f"{path} {int(round(profile.paths[path].exclusive * SCALE))}"
+        for path in sorted(profile.paths)
+    ]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_collapsed(profile: Profile, path: Union[str, Path]) -> Path:
+    """Write the collapsed-stack export; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(collapsed_stacks(profile))
+    return path
+
+
+def parse_collapsed(text: str) -> dict[str, int]:
+    """Parse collapsed-stack text back into {path: value} (for tests)."""
+    out: dict[str, int] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        path, _, value = line.rpartition(" ")
+        if not path:
+            raise ValueError(f"line {lineno}: no value field in {line!r}")
+        out[path] = int(value)
+    return out

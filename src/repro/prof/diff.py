@@ -1,0 +1,229 @@
+"""Differential profiles: attribute the delta between two runs.
+
+``diff_profiles(base, new)`` lines the two profiles up path by path
+and reports, per path, the change in exclusive simulated time — the
+question behind every perf investigation here: *where did the extra
+seconds under ``message_loss`` go?*  A path **regresses** when its
+self time grows by more than the absolute floor *and* by more than the
+percentage threshold (per-path overrides win over the global default);
+op counters regress under their own thresholds.  The CLI exits nonzero
+when any regression survives, which is the CI perf gate.
+
+Paths only present in ``new`` are treated as growth from zero (they
+regress if they clear the absolute floor); paths that disappeared are
+reported as improvements.  Like profiles, a diff serializes to
+canonical JSON, byte-identical for identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from repro.prof.profile import Profile
+
+#: Default regression threshold: ≥10 % growth in exclusive time.
+DEFAULT_PCT = 10.0
+
+#: Absolute floor (seconds): growth below this never regresses, however
+#: large in relative terms — keeps 1 ns jitter on near-zero paths quiet.
+DEFAULT_ABS = 1e-6
+
+#: Counter thresholds: ≥10 % and at least half an op.
+DEFAULT_COUNTER_PCT = 10.0
+DEFAULT_COUNTER_ABS = 0.5
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One path's (or counter's) before/after comparison."""
+
+    path: str
+    kind: str  # "path" | "counter"
+    base: float
+    new: float
+    regression: bool
+    base_count: int = 0
+    new_count: int = 0
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.base
+
+    @property
+    def pct(self) -> Optional[float]:
+        """Relative change in percent (None when the base is zero)."""
+        if self.base == 0.0:
+            return None
+        return (self.new - self.base) / self.base * 100.0
+
+    def record(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "base": self.base,
+            "new": self.new,
+            "delta": self.delta,
+            "pct": self.pct,
+            "base_count": self.base_count,
+            "new_count": self.new_count,
+            "regression": self.regression,
+        }
+
+
+class ProfileDiff:
+    """The full comparison; ``regressions`` drives the exit status."""
+
+    def __init__(
+        self,
+        entries: list[DiffEntry],
+        base_meta: Mapping[str, Any],
+        new_meta: Mapping[str, Any],
+        threshold_pct: float,
+        threshold_abs: float,
+    ) -> None:
+        self.entries = entries
+        self.base_meta = dict(base_meta)
+        self.new_meta = dict(new_meta)
+        self.threshold_pct = threshold_pct
+        self.threshold_abs = threshold_abs
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.regression]
+
+    @property
+    def changed(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.delta != 0.0]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "format": "repro.prof.diff/1",
+            "base_meta": self.base_meta,
+            "new_meta": self.new_meta,
+            "threshold_pct": self.threshold_pct,
+            "threshold_abs": self.threshold_abs,
+            "regressions": len(self.regressions),
+            "entries": [e.record() for e in self.entries],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+
+
+def _regresses(base: float, delta: float, pct: float, floor: float) -> bool:
+    if delta <= floor:
+        return False
+    if base == 0.0:
+        return True
+    return delta / base * 100.0 > pct
+
+
+def diff_profiles(
+    base: Profile,
+    new: Profile,
+    threshold_pct: float = DEFAULT_PCT,
+    threshold_abs: float = DEFAULT_ABS,
+    per_path: Optional[Mapping[str, float]] = None,
+    counter_pct: float = DEFAULT_COUNTER_PCT,
+    counter_abs: float = DEFAULT_COUNTER_ABS,
+) -> ProfileDiff:
+    """Compare ``new`` against ``base``.
+
+    ``per_path`` maps exact span paths to percentage thresholds that
+    override ``threshold_pct`` for that path alone (e.g. a known-noisy
+    queue wait may tolerate 50 %).
+    """
+    per_path = dict(per_path or {})
+    entries: list[DiffEntry] = []
+
+    for path in sorted(set(base.paths) | set(new.paths)):
+        b = base.paths.get(path)
+        n = new.paths.get(path)
+        b_excl = b.exclusive if b is not None else 0.0
+        n_excl = n.exclusive if n is not None else 0.0
+        entries.append(
+            DiffEntry(
+                path=path,
+                kind="path",
+                base=b_excl,
+                new=n_excl,
+                base_count=b.count if b is not None else 0,
+                new_count=n.count if n is not None else 0,
+                regression=_regresses(
+                    b_excl,
+                    n_excl - b_excl,
+                    per_path.get(path, threshold_pct),
+                    threshold_abs,
+                ),
+            )
+        )
+
+    for name in sorted(set(base.counters) | set(new.counters)):
+        b_val = base.counters.get(name, 0.0)
+        n_val = new.counters.get(name, 0.0)
+        entries.append(
+            DiffEntry(
+                path=name,
+                kind="counter",
+                base=b_val,
+                new=n_val,
+                regression=_regresses(
+                    b_val, n_val - b_val, counter_pct, counter_abs
+                ),
+            )
+        )
+
+    entries.sort(key=lambda e: (-abs(e.delta), e.kind, e.path))
+    return ProfileDiff(
+        entries=entries,
+        base_meta=base.meta,
+        new_meta=new.meta,
+        threshold_pct=threshold_pct,
+        threshold_abs=threshold_abs,
+    )
+
+
+def render_diff(diff: ProfileDiff, limit: int = 20, all_entries: bool = False) -> str:
+    """Fixed-width report: regressions first, then the largest moves."""
+    lines: list[str] = []
+    regressions = diff.regressions
+    if regressions:
+        lines.append(f"REGRESSION: {len(regressions)} path(s) over threshold")
+        for entry in regressions:
+            lines.append("  " + _entry_line(entry))
+    else:
+        lines.append("no regressions")
+
+    shown = diff.entries if all_entries else diff.changed[:limit]
+    if shown:
+        lines.append("")
+        lines.append(
+            f"{'kind':<8} {'base':>14} {'new':>14} {'delta':>14} {'pct':>9}  path"
+        )
+        for entry in shown:
+            lines.append(_table_line(entry))
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.6g}"
+
+
+def _entry_line(entry: DiffEntry) -> str:
+    pct = f"{entry.pct:+.1f}%" if entry.pct is not None else "new"
+    return (
+        f"{entry.path} [{entry.kind}] "
+        f"{_fmt(entry.base)} -> {_fmt(entry.new)} "
+        f"({entry.delta:+.6g}, {pct})"
+    )
+
+
+def _table_line(entry: DiffEntry) -> str:
+    pct = f"{entry.pct:+.1f}%" if entry.pct is not None else "new"
+    flag = " <-- regression" if entry.regression else ""
+    return (
+        f"{entry.kind:<8} {_fmt(entry.base):>14} {_fmt(entry.new):>14} "
+        f"{entry.delta:>+14.6g} {pct:>9}  {entry.path}{flag}"
+    )

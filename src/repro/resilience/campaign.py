@@ -29,6 +29,8 @@ from repro.gridenv import DEFAULT_EXECUTABLE, Grid, GridBuilder
 from repro.resilience.policy import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.coallocator import Duroc
+    from repro.prof.profile import Profile
     from repro.verify.recorder import Recorder
 
 #: Sites of the Figure-1-style testbed.  RM1/RM2 anchor the
@@ -136,19 +138,8 @@ def figure1_request(grid: Grid) -> CoAllocationRequest:
     ])
 
 
-def run_trial(
-    campaign: Campaign,
-    seed: int,
-    recorder: "Optional[Recorder]" = None,
-) -> dict[str, Any]:
-    """One seeded trial of ``campaign``; returns its record.
-
-    Pass a fresh :class:`~repro.verify.Recorder` to observe the trial
-    under the runtime-verification monitors (``repro.verify`` does);
-    recording never perturbs the trial, so the returned record is
-    byte-identical either way (tested).
-    """
-    grid = _build_grid(campaign, seed, recorder=recorder)
+def _drive_trial(campaign: Campaign, grid: Grid) -> tuple["Duroc", Any, int]:
+    """Drive the Figure-1 request through ``grid`` under ``campaign``."""
     duroc = grid.duroc(
         retry=campaign.retry,
         submit_timeout=campaign.submit_timeout,
@@ -166,6 +157,23 @@ def run_trial(
 
     outcome = grid.run(grid.process(scenario(grid.env)))
     grid.run(until=min(grid.now + DRAIN_TIME, TRIAL_HORIZON))
+    return duroc, outcome, requested
+
+
+def run_trial(
+    campaign: Campaign,
+    seed: int,
+    recorder: "Optional[Recorder]" = None,
+) -> dict[str, Any]:
+    """One seeded trial of ``campaign``; returns its record.
+
+    Pass a fresh :class:`~repro.verify.Recorder` to observe the trial
+    under the runtime-verification monitors (``repro.verify`` does);
+    recording never perturbs the trial, so the returned record is
+    byte-identical either way (tested).
+    """
+    grid = _build_grid(campaign, seed, recorder=recorder)
+    duroc, outcome, requested = _drive_trial(campaign, grid)
 
     metrics = grid.tracer.metrics
     job = duroc.jobs[0] if duroc.jobs else None
@@ -196,6 +204,7 @@ def _build_grid(
     campaign: Campaign,
     seed: int,
     recorder: "Optional[Recorder]" = None,
+    profiling: bool = False,
 ) -> Grid:
     builder = GridBuilder(seed=seed)
     for site in SITES:
@@ -203,7 +212,34 @@ def _build_grid(
     builder.with_faults(*campaign.faults)
     if recorder is not None:
         builder.with_monitors(recorder)
+    if profiling:
+        builder.with_profiling()
     return builder.build()
+
+
+def profile_trial(campaign: Campaign, seed: int) -> "Profile":
+    """Profile one seeded trial of ``campaign``.
+
+    Replays the exact trial :func:`run_trial` would run (same seed,
+    same grid, same agent) with op counters attached, and reduces the
+    trace to a :class:`~repro.prof.profile.Profile` — the *where did
+    the extra seconds go* artifact for a fault campaign.  Differencing
+    a campaign's profile against ``baseline``'s attributes the cost of
+    the injected faults to span paths (see ``python -m repro.prof``).
+    """
+    from repro.prof.profile import profile_grid
+
+    grid = _build_grid(campaign, seed, profiling=True)
+    _drive_trial(campaign, grid)
+    return profile_grid(
+        grid,
+        meta={
+            "source": "repro.resilience.campaign",
+            "campaign": campaign.name,
+            "scenario": "figure1",
+            "seed": seed,
+        },
+    )
 
 
 def _classify(outcome: Any, requested: int, released: int) -> str:

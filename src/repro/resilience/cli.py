@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, metavar="PATH",
         help="also write the report to PATH",
     )
+    run.add_argument(
+        "--profile-dir", default=None, metavar="DIR",
+        help="also write a per-campaign cost profile (trial 0) to "
+        "DIR/<campaign>.json plus a collapsed-stack DIR/<campaign>.collapsed "
+        "(see python -m repro.prof)",
+    )
     return parser
 
 
@@ -83,8 +89,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         out = Path(args.out)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(text)
+    if args.profile_dir is not None:
+        _write_profiles(args.profile_dir, args.campaign, args.seed)
     sys.stdout.write(text)
     return 0 if _all_succeeded(report) else 1
+
+
+def _write_profiles(
+    profile_dir: str, names: Optional[Sequence[str]], seed: int
+) -> None:
+    from repro.prof.collapse import write_collapsed
+    from repro.resilience.campaign import profile_trial
+
+    for name in sorted(names) if names else sorted(CAMPAIGNS):
+        profile = profile_trial(CAMPAIGNS[name], seed)
+        written = profile.write(Path(profile_dir) / f"{name}.json")
+        write_collapsed(profile, Path(profile_dir) / f"{name}.collapsed")
+        print(f"profile written to {written}", file=sys.stderr)
 
 
 def _all_succeeded(report: dict[str, Any]) -> bool:

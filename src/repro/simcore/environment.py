@@ -91,6 +91,8 @@ class Environment:
             raise SimulationError(f"negative delay {delay!r}")
         self._eid += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        if self.probe is not None:
+            self.probe.on_schedule(self._now + delay, len(self._queue))
 
     def step(self) -> None:
         """Process the single next event, advancing the clock to it.
@@ -106,6 +108,8 @@ class Environment:
             if not event.cancelled:
                 break
         self._now = when
+        if self.probe is not None:
+            self.probe.on_step(when)
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive

@@ -1,21 +1,24 @@
-"""The runtime-verification probe seam.
+"""The runtime-verification and profiling probe seam.
 
 A :class:`Probe` is the simulator's instrumentation interface: the
-network reports message sends/deliveries/drops, and protocol components
-report named events and state accesses.  The default is *no probe*
-(``Environment.probe is None``) and every hook below is a cheap no-op,
-so instrumented code behaves identically whether or not a run is being
-verified — exactly the contract ``NullTracer`` gives observability.
+kernel reports scheduled/processed events, the network reports message
+sends/deliveries/drops, and protocol components report named events and
+state accesses.  The default is *no probe* (``Environment.probe is
+None``) and every hook below is a cheap no-op, so instrumented code
+behaves identically whether or not a run is being observed — exactly
+the contract ``NullTracer`` gives observability.
 
-The concrete recorder (which attaches vector clocks and builds the
-happens-before log) lives in :mod:`repro.verify.recorder`; this module
-only defines the seam so that low-level packages (``net``, ``core``)
-never import the verification layer.
+Concrete probes live higher up: the vector-clock recorder in
+:mod:`repro.verify.recorder` and the machine-independent op counters in
+:mod:`repro.prof.counters`.  This module only defines the seam so that
+low-level packages (``net``, ``core``) never import those layers.
+Several observers can share one environment through
+:class:`FanoutProbe`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.message import Message
@@ -24,6 +27,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class Probe:
     """Base probe: every hook is a no-op.  Subclass and override."""
+
+    def on_schedule(self, when: float, queue_size: int) -> None:
+        """An event was pushed onto the kernel heap (now ``queue_size`` deep)."""
+
+    def on_step(self, now: float) -> None:
+        """The kernel processed one event at simulated time ``now``."""
 
     def on_send(self, message: "Message") -> None:
         """A message entered the network."""
@@ -44,6 +53,52 @@ class Probe:
 
     def register_locus(self, endpoint: str, locus: str) -> None:
         """Map an endpoint onto its owning locus of control."""
+
+
+class FanoutProbe(Probe):
+    """Dispatches every hook to several probes, in installation order.
+
+    Lets a run be verified *and* profiled at once: the builder composes
+    the verification recorder and the op counters into one fan-out when
+    both are requested.  Like any probe, fan-out is observation-only.
+    """
+
+    def __init__(self, probes: Iterable[Probe]) -> None:
+        self.probes: tuple[Probe, ...] = tuple(probes)
+
+    def on_schedule(self, when: float, queue_size: int) -> None:
+        for probe in self.probes:
+            probe.on_schedule(when, queue_size)
+
+    def on_step(self, now: float) -> None:
+        for probe in self.probes:
+            probe.on_step(now)
+
+    def on_send(self, message: "Message") -> None:
+        for probe in self.probes:
+            probe.on_send(message)
+
+    def on_deliver(self, message: "Message") -> None:
+        for probe in self.probes:
+            probe.on_deliver(message)
+
+    def on_drop(self, message: "Message", reason: str) -> None:
+        for probe in self.probes:
+            probe.on_drop(message, reason)
+
+    def event(self, node: str, name: str, attrs: dict[str, Any]) -> None:
+        for probe in self.probes:
+            probe.event(node, name, attrs)
+
+    def access(
+        self, node: str, resource: str, mode: str, attrs: dict[str, Any]
+    ) -> None:
+        for probe in self.probes:
+            probe.access(node, resource, mode, attrs)
+
+    def register_locus(self, endpoint: str, locus: str) -> None:
+        for probe in self.probes:
+            probe.register_locus(endpoint, locus)
 
 
 def probe_of(env: "Environment") -> Optional[Probe]:

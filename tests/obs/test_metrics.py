@@ -5,12 +5,14 @@ import pytest
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NULL_METRICS,
+    SUMMARY_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
     WindowedRate,
+    histogram_summary,
 )
 from repro.simcore import Environment
 
@@ -91,6 +93,43 @@ class TestHistogram:
         (series,) = h.snapshot()["values"]
         assert [b["count"] for b in series["buckets"]] == [1, 2, 3]
         assert series["buckets"][-1]["le"] == "+Inf"
+
+
+class TestHistogramSummary:
+    def _value(self, registry, observations, buckets=(0.1, 1.0, 10.0)):
+        h = registry.histogram("lat", buckets=buckets)
+        for v in observations:
+            h.observe(v)
+        (value,) = h.snapshot()["values"]
+        return value
+
+    def test_default_quantiles(self, registry):
+        summary = histogram_summary(
+            self._value(registry, (0.05, 0.5, 0.5, 5.0))
+        )
+        assert sorted(summary) == ["p50", "p90", "p99"]
+        assert summary["p50"] == 1.0
+        assert summary["p90"] == 10.0
+        assert summary["p99"] == 10.0
+
+    def test_tail_beyond_last_bucket_uses_max(self, registry):
+        summary = histogram_summary(self._value(registry, (0.5, 500.0)))
+        assert summary["p99"] == 500.0
+
+    def test_empty_histogram_summary_is_zero(self):
+        # An unobserved series never appears in a snapshot, but exports
+        # from older runs may carry zero-count values.
+        value = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "buckets": []}
+        summary = histogram_summary(value)
+        assert summary == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_custom_quantiles(self, registry):
+        value = self._value(registry, (0.05, 0.05, 0.5, 5.0))
+        summary = histogram_summary(value, quantiles=(0.25,))
+        assert summary == {"p25": 0.1}
+
+    def test_default_quantile_constant(self):
+        assert SUMMARY_QUANTILES == (0.5, 0.9, 0.99)
 
 
 class TestWindowedRate:

@@ -1,0 +1,54 @@
+"""Unit tests for the collapsed-stack (flamegraph) exporter."""
+
+from repro.prof.collapse import SCALE, collapsed_stacks, parse_collapsed, write_collapsed
+from repro.prof.profile import profile_spans
+from repro.simcore.tracing import Span
+
+
+def span(name, start, end, sid, parent=None):
+    return Span(name, start, end, {}, "t1", sid, parent)
+
+
+def sample_profile():
+    return profile_spans([
+        span("root", 0.0, 2.0, 1),
+        span("kid", 0.5, 1.0, 2, parent=1),
+    ])
+
+
+class TestCollapsedStacks:
+    def test_values_are_exclusive_microseconds(self):
+        text = collapsed_stacks(sample_profile())
+        values = parse_collapsed(text)
+        assert values["root;kid"] == int(round(0.5 * SCALE))
+        assert values["root"] == int(round(1.5 * SCALE))
+
+    def test_lines_sorted_with_trailing_newline(self):
+        text = collapsed_stacks(sample_profile())
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+
+    def test_zero_weight_interior_paths_kept(self):
+        profile = profile_spans([
+            span("root", 0.0, 1.0, 1),
+            span("kid", 0.0, 1.0, 2, parent=1),
+        ])
+        values = parse_collapsed(collapsed_stacks(profile))
+        assert values["root"] == 0
+
+    def test_empty_profile_is_empty_string(self):
+        assert collapsed_stacks(profile_spans([])) == ""
+
+    def test_write_collapsed_round_trips(self, tmp_path):
+        profile = sample_profile()
+        path = write_collapsed(profile, tmp_path / "out" / "p.collapsed")
+        assert path.is_file()
+        assert parse_collapsed(path.read_text()) == parse_collapsed(
+            collapsed_stacks(profile)
+        )
+
+    def test_determinism(self):
+        assert collapsed_stacks(sample_profile()) == collapsed_stacks(
+            sample_profile()
+        )

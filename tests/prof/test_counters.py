@@ -1,0 +1,136 @@
+"""Unit tests for op counters and the probe fan-out seam."""
+
+from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
+from repro.net.address import Endpoint
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.prof.counters import OpCounters
+from repro.simcore.environment import Environment
+from repro.simcore.probe import FanoutProbe, Probe
+
+
+def run_timeouts(probe, n=5):
+    env = Environment()
+    env.probe = probe
+
+    def proc(env):
+        for _ in range(n):
+            yield env.timeout(1.0)
+
+    env.run(env.process(proc(env)))
+    return env
+
+
+class TestOpCounters:
+    def test_kernel_events_counted(self):
+        counters = OpCounters()
+        run_timeouts(counters, n=5)
+        assert counters.events_processed > 0
+        assert counters.events_scheduled >= counters.heap_high_water > 0
+
+    def test_network_messages_counted(self):
+        counters = OpCounters()
+        env = Environment()
+        env.probe = counters
+        network = Network(env)
+        network.add_host("a")
+        dst = Endpoint("a", "inbox")
+        network.bind(dst)
+        for i in range(3):
+            network.send(
+                Message(src=Endpoint("a", "out"), dst=dst, kind="ping", payload=i)
+            )
+        env.run()
+        assert counters.messages_sent == 3
+        assert counters.messages_delivered == 3
+        assert counters.messages_dropped == 0
+
+    def test_snapshot_keys_and_types(self):
+        counters = OpCounters()
+        run_timeouts(counters, n=2)
+        snap = counters.snapshot()
+        assert set(snap) == {
+            "sim.events_processed",
+            "sim.events_scheduled",
+            "sim.heap_high_water",
+            "sim.messages_sent",
+            "sim.messages_delivered",
+            "sim.messages_dropped",
+        }
+        assert all(isinstance(v, float) for v in snap.values())
+
+    def test_counters_never_perturb_the_run(self):
+        # The observation-only contract: a profiled grid produces the
+        # exact same trace as an unprofiled one.
+        def build(profiled):
+            builder = GridBuilder(seed=7).add_machine("m", nodes=8)
+            if profiled:
+                builder = builder.with_profiling()
+            grid = builder.build()
+            client = grid.gram_client()
+            contact = grid.site("m").contact
+
+            def scenario(env):
+                yield from client.submit(
+                    contact,
+                    f"&(resourceManagerContact={contact})(count=2)"
+                    f"(executable={DEFAULT_EXECUTABLE})",
+                )
+
+            grid.run(grid.process(scenario(grid.env)))
+            return grid
+
+        plain = build(profiled=False)
+        profiled = build(profiled=True)
+        assert [s.key() for s in plain.tracer.spans] == [
+            s.key() for s in profiled.tracer.spans
+        ]
+        assert plain.now == profiled.now
+        assert profiled.counters is not None
+        assert profiled.counters.events_processed > 0
+        assert plain.counters is None
+
+
+class TestFanoutProbe:
+    def test_forwards_every_hook_in_order(self):
+        calls = []
+
+        class Recorder(Probe):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_schedule(self, when, queue_size):
+                calls.append((self.tag, "schedule"))
+
+            def on_step(self, now):
+                calls.append((self.tag, "step"))
+
+            def on_send(self, message):
+                calls.append((self.tag, "send"))
+
+            def on_deliver(self, message):
+                calls.append((self.tag, "deliver"))
+
+            def on_drop(self, message, reason):
+                calls.append((self.tag, "drop"))
+
+        fan = FanoutProbe([Recorder("a"), Recorder("b")])
+        fan.on_schedule(1.0, 1)
+        fan.on_step(1.0)
+        fan.on_send(None)
+        fan.on_deliver(None)
+        fan.on_drop(None, "rule")
+        assert calls == [
+            ("a", "schedule"), ("b", "schedule"),
+            ("a", "step"), ("b", "step"),
+            ("a", "send"), ("b", "send"),
+            ("a", "deliver"), ("b", "deliver"),
+            ("a", "drop"), ("b", "drop"),
+        ]
+
+    def test_fanout_counts_match_solo_counts(self):
+        solo = OpCounters()
+        run_timeouts(solo, n=4)
+        first, second = OpCounters(), OpCounters()
+        run_timeouts(FanoutProbe([first, second]), n=4)
+        assert first.snapshot() == second.snapshot() == solo.snapshot()

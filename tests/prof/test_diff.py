@@ -1,0 +1,131 @@
+"""Unit tests for differential profiles and the regression rule."""
+
+import json
+
+from repro.prof.diff import diff_profiles, render_diff
+from repro.prof.profile import PathStats, Profile
+
+
+def make_profile(paths, counters=None, meta=None):
+    return Profile(
+        paths={
+            path: PathStats(path=path, count=1, inclusive=value, exclusive=value)
+            for path, value in paths.items()
+        },
+        counters=counters,
+        meta=meta,
+    )
+
+
+class TestRegressionRule:
+    def test_injected_regression_detected_and_named(self):
+        # The acceptance shape: a 20 % exclusive-time growth on one path
+        # must be reported as a regression *naming that path*.
+        base = make_profile({"duroc.request;duroc.submit;gram.submit": 1.0})
+        new = make_profile({"duroc.request;duroc.submit;gram.submit": 1.2})
+        diff = diff_profiles(base, new, threshold_pct=10.0)
+        assert [e.path for e in diff.regressions] == [
+            "duroc.request;duroc.submit;gram.submit"
+        ]
+
+    def test_growth_below_threshold_passes(self):
+        base = make_profile({"a": 1.0})
+        new = make_profile({"a": 1.05})
+        assert diff_profiles(base, new, threshold_pct=10.0).regressions == []
+
+    def test_exactly_at_threshold_passes(self):
+        # The rule is strictly greater-than (binary-exact values so the
+        # comparison really is at the boundary).
+        base = make_profile({"a": 1.0})
+        new = make_profile({"a": 1.125})
+        assert diff_profiles(base, new, threshold_pct=12.5).regressions == []
+
+    def test_absolute_floor_quiets_tiny_paths(self):
+        # 300 % growth, but only 3 ns in absolute terms: never a
+        # regression under the default 1 µs floor.
+        base = make_profile({"tiny": 1e-9})
+        new = make_profile({"tiny": 4e-9})
+        assert diff_profiles(base, new).regressions == []
+
+    def test_new_path_regresses_from_zero(self):
+        base = make_profile({"a": 1.0})
+        new = make_profile({"a": 1.0, "fresh": 0.5})
+        diff = diff_profiles(base, new)
+        assert [e.path for e in diff.regressions] == ["fresh"]
+        (entry,) = diff.regressions
+        assert entry.pct is None  # relative change undefined from zero
+
+    def test_disappeared_path_is_improvement(self):
+        base = make_profile({"a": 1.0, "gone": 0.5})
+        new = make_profile({"a": 1.0})
+        diff = diff_profiles(base, new)
+        assert diff.regressions == []
+        gone = next(e for e in diff.entries if e.path == "gone")
+        assert gone.delta == -0.5
+
+    def test_per_path_override_wins(self):
+        base = make_profile({"noisy": 1.0, "quiet": 1.0})
+        new = make_profile({"noisy": 1.3, "quiet": 1.3})
+        diff = diff_profiles(
+            base, new, threshold_pct=10.0, per_path={"noisy": 50.0}
+        )
+        assert [e.path for e in diff.regressions] == ["quiet"]
+
+    def test_counter_regression_own_thresholds(self):
+        base = make_profile({"a": 1.0}, counters={"rpc.round_trips": 10.0})
+        new = make_profile({"a": 1.0}, counters={"rpc.round_trips": 12.0})
+        diff = diff_profiles(base, new)
+        (entry,) = diff.regressions
+        assert entry.kind == "counter"
+        assert entry.path == "rpc.round_trips"
+
+    def test_counter_below_half_op_floor_passes(self):
+        # +0.4 of an op is under the 0.5 absolute counter floor.
+        base = make_profile({"a": 1.0}, counters={"rpc.round_trips": 1.0})
+        new = make_profile({"a": 1.0}, counters={"rpc.round_trips": 1.4})
+        assert diff_profiles(base, new).regressions == []
+
+
+class TestDiffStructure:
+    def test_entries_sorted_by_absolute_delta(self):
+        base = make_profile({"small": 1.0, "big": 1.0})
+        new = make_profile({"small": 1.1, "big": 3.0})
+        diff = diff_profiles(base, new)
+        deltas = [abs(e.delta) for e in diff.entries]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_changed_excludes_stable_paths(self):
+        base = make_profile({"same": 1.0, "moved": 1.0})
+        new = make_profile({"same": 1.0, "moved": 2.0})
+        assert [e.path for e in diff_profiles(base, new).changed] == ["moved"]
+
+    def test_dumps_canonical_and_deterministic(self):
+        base = make_profile({"a": 1.0}, meta={"scenario": "x"})
+        new = make_profile({"a": 2.0}, meta={"scenario": "y"})
+        text = diff_profiles(base, new).dumps()
+        assert text == diff_profiles(base, new).dumps()
+        payload = json.loads(text)
+        assert payload["format"] == "repro.prof.diff/1"
+        assert payload["regressions"] == 1
+        assert payload["base_meta"] == {"scenario": "x"}
+
+
+class TestRenderDiff:
+    def test_regression_report_names_path(self):
+        base = make_profile({"gram.submit;gram.auth": 1.0})
+        new = make_profile({"gram.submit;gram.auth": 2.0})
+        out = render_diff(diff_profiles(base, new))
+        assert "REGRESSION: 1 path(s)" in out
+        assert "gram.submit;gram.auth" in out
+        assert "+100.0%" in out
+
+    def test_clean_diff_says_so(self):
+        base = make_profile({"a": 1.0})
+        out = render_diff(diff_profiles(base, make_profile({"a": 1.0})))
+        assert "no regressions" in out
+
+    def test_all_entries_mode_shows_stable_paths(self):
+        base = make_profile({"same": 1.0})
+        diff = diff_profiles(base, make_profile({"same": 1.0}))
+        assert "same" not in render_diff(diff)
+        assert "same" in render_diff(diff, all_entries=True)

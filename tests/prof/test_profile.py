@@ -1,0 +1,195 @@
+"""Unit tests for trace-derived profiles (repro.prof.profile)."""
+
+import json
+
+import pytest
+
+from repro.prof.profile import (
+    FORMAT,
+    METRIC_COUNTERS,
+    PathStats,
+    Profile,
+    counters_from_metrics,
+    profile_spans,
+)
+from repro.simcore.tracing import Span
+
+
+def span(name, start, end, sid, parent=None, trace="t1"):
+    return Span(name, start, end, {}, trace, sid, parent)
+
+
+class TestAggregation:
+    def test_parent_child_inclusive_and_exclusive(self):
+        profile = profile_spans([
+            span("root", 0.0, 10.0, 1),
+            span("child", 2.0, 5.0, 2, parent=1),
+        ])
+        assert profile.paths["root"].inclusive == 10.0
+        assert profile.paths["root"].exclusive == 7.0
+        assert profile.paths["root;child"].inclusive == 3.0
+        assert profile.paths["root;child"].exclusive == 3.0
+
+    def test_same_path_counts_aggregate(self):
+        profile = profile_spans([
+            span("root", 0.0, 10.0, 1),
+            span("child", 1.0, 2.0, 2, parent=1),
+            span("child", 3.0, 5.0, 3, parent=1),
+        ])
+        stats = profile.paths["root;child"]
+        assert stats.count == 2
+        assert stats.inclusive == 3.0
+        assert profile.paths["root"].exclusive == 7.0
+
+    def test_overlapping_children_not_double_counted(self):
+        # Two concurrent children covering [1, 4] and [3, 6]: the union
+        # is 5 s, not 3 + 3 = 6 s.
+        profile = profile_spans([
+            span("root", 0.0, 10.0, 1),
+            span("a", 1.0, 4.0, 2, parent=1),
+            span("b", 3.0, 6.0, 3, parent=1),
+        ])
+        assert profile.paths["root"].exclusive == 5.0
+
+    def test_child_spilling_past_parent_is_clipped(self):
+        # The child closes after the parent: only the overlap counts,
+        # and exclusive time stays non-negative.
+        profile = profile_spans([
+            span("root", 0.0, 4.0, 1),
+            span("late", 2.0, 9.0, 2, parent=1),
+        ])
+        assert profile.paths["root"].exclusive == 2.0
+
+    def test_children_covering_whole_parent(self):
+        profile = profile_spans([
+            span("root", 0.0, 4.0, 1),
+            span("a", 0.0, 2.0, 2, parent=1),
+            span("b", 2.0, 4.0, 3, parent=1),
+        ])
+        assert profile.paths["root"].exclusive == 0.0
+
+    def test_orphan_span_roots_its_own_path(self):
+        profile = profile_spans([
+            span("root", 0.0, 4.0, 1),
+            span("orphan", 1.0, 2.0, 2, parent=99),
+        ])
+        assert "orphan" in profile.paths
+        assert profile.paths["orphan"].exclusive == 1.0
+
+    def test_grandchildren_nest_paths(self):
+        profile = profile_spans([
+            span("a", 0.0, 8.0, 1),
+            span("b", 1.0, 5.0, 2, parent=1),
+            span("c", 2.0, 3.0, 3, parent=2),
+        ])
+        assert set(profile.paths) == {"a", "a;b", "a;b;c"}
+        assert profile.paths["a;b"].exclusive == 3.0
+
+    def test_span_count_and_total_time(self):
+        profile = profile_spans([
+            span("a", 1.0, 3.0, 1),
+            span("b", 2.0, 7.5, 2),
+        ])
+        assert profile.span_count == 2
+        assert profile.total_time == 6.5
+
+    def test_empty_spans(self):
+        profile = profile_spans([])
+        assert profile.paths == {}
+        assert profile.span_count == 0
+        assert profile.total_time == 0.0
+
+
+class TestQueries:
+    def _profile(self):
+        return profile_spans([
+            span("root", 0.0, 10.0, 1),
+            span("auth", 1.0, 2.0, 2, parent=1),
+            span("other", 3.0, 4.0, 3, parent=1),
+            span("auth", 5.0, 5.5, 4, parent=3),
+        ])
+
+    def test_leaf(self):
+        assert PathStats("a;b;c", 1, 0.0, 0.0).leaf == "c"
+        assert PathStats("solo", 1, 0.0, 0.0).leaf == "solo"
+
+    def test_exclusive_exact_path(self):
+        profile = self._profile()
+        assert profile.exclusive("root;auth") == 1.0
+        assert profile.exclusive("no.such.path") == 0.0
+
+    def test_exclusive_by_name_sums_across_paths(self):
+        profile = self._profile()
+        assert profile.exclusive_by_name("auth") == 1.5
+        assert profile.count_by_name("auth") == 2
+
+    def test_top_exclusive_ranked_descending(self):
+        profile = self._profile()
+        top = profile.top_exclusive(2)
+        assert [s.exclusive for s in top] == sorted(
+            (s.exclusive for s in profile.paths.values()), reverse=True
+        )[:2]
+
+
+class TestSerialization:
+    def _profile(self):
+        return profile_spans(
+            [span("root", 0.0, 2.0, 1), span("kid", 0.5, 1.0, 2, parent=1)],
+            counters={"rpc.round_trips": 3.0},
+            meta={"scenario": "unit", "seed": 7},
+        )
+
+    def test_round_trip(self):
+        profile = self._profile()
+        again = Profile.loads(profile.dumps())
+        assert again.paths == profile.paths
+        assert again.counters == profile.counters
+        assert again.meta == profile.meta
+        assert again.span_count == profile.span_count
+        assert again.total_time == profile.total_time
+
+    def test_dumps_is_canonical(self):
+        text = self._profile().dumps()
+        assert text.endswith("\n")
+        assert text == self._profile().dumps()
+        payload = json.loads(text)
+        assert payload["format"] == FORMAT
+        assert list(payload["paths"]) == sorted(payload["paths"])
+
+    def test_write_and_load(self, tmp_path):
+        profile = self._profile()
+        path = profile.write(tmp_path / "deep" / "p.json")
+        assert path.is_file()
+        assert Profile.load(path).dumps() == profile.dumps()
+
+    def test_from_json_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="format"):
+            Profile.from_json({"format": "something/else"})
+
+
+class TestCountersFromMetrics:
+    def test_allowlisted_counters_summed_across_labels(self):
+        snapshot = {
+            "metrics": {
+                "rpc.calls_total": {
+                    "type": "counter",
+                    "values": [
+                        {"labels": {"kind": "submit"}, "value": 3.0},
+                        {"labels": {"kind": "cancel"}, "value": 2.0},
+                    ],
+                },
+                "duroc.barrier_wait_seconds": {  # histogram: not folded
+                    "type": "histogram",
+                    "values": [{"count": 4, "sum": 1.0}],
+                },
+            }
+        }
+        counters = counters_from_metrics(snapshot)
+        assert counters == {"rpc.round_trips": 5.0}
+
+    def test_absent_metrics_omitted(self):
+        assert counters_from_metrics({"metrics": {}}) == {}
+
+    def test_allowlist_targets_are_unique(self):
+        names = [profile_name for _, profile_name in METRIC_COUNTERS]
+        assert len(names) == len(set(names))

@@ -23,6 +23,40 @@ def test_example_runs(script):
     assert result.stdout.strip(), "example produced no output"
 
 
+def test_quickstart_exports_profile(tmp_path):
+    root = pathlib.Path(__file__).resolve().parent.parent
+    script = root / "examples" / "quickstart.py"
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    profile_path = root / "results" / "quickstart_profile.json"
+    collapsed_path = root / "results" / "quickstart_profile.collapsed"
+    assert profile_path.is_file()
+    assert collapsed_path.is_file()
+
+    import json
+
+    payload = json.loads(profile_path.read_text())
+    assert payload["format"] == "repro.prof/1"
+    assert payload["paths"], "profile has no span paths"
+    assert any(
+        path.endswith("gram.submit") or "gram.submit" in path
+        for path in payload["paths"]
+    )
+
+    lines = collapsed_path.read_text().splitlines()
+    assert lines, "collapsed export is empty"
+    for line in lines:
+        path, _, value = line.rpartition(" ")
+        assert path, line
+        assert value.isdigit(), line
+
+
 def test_examples_exist():
     names = {p.name for p in EXAMPLES}
     assert "quickstart.py" in names
