@@ -7,13 +7,16 @@ survives suppression, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.callback_safety import CallbackSafetyChecker
 from repro.analysis.determinism import DeterminismChecker
-from repro.analysis.framework import Analyzer, Checker
+from repro.analysis.framework import Analyzer, Checker, is_glob_selector
+from repro.analysis.perf_rules import PerfChecker
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.resilience_rules import ResilienceChecker
 from repro.analysis.rsl_schema import RslSchemaChecker
@@ -28,6 +31,7 @@ def all_checkers() -> list[Checker]:
         CallbackSafetyChecker(),
         RslSchemaChecker(),
         ResilienceChecker(),
+        PerfChecker(),
     ]
 
 
@@ -50,13 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
-        "--select", default=None, metavar="RULES",
-        help="comma-separated rule ids, families (det, sm, cb, rsl, res) or "
-        "checker names to run; everything else is skipped",
+        "--select", action="append", default=None, metavar="RULES",
+        help="comma-separated rule ids, families (det, sm, cb, rsl, res, "
+        "perf), checker names, or glob patterns ('perf-*') to run; "
+        "repeatable; everything else is skipped",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
-        help="print every rule id with its summary and exit",
+        help="print every rule id with its summary and exit "
+        "(respects --format)",
     )
     return parser
 
@@ -68,6 +74,27 @@ def list_rules() -> str:
         for rule in checker.rules:
             lines.append(f"  {rule.id:<24} {rule.severity.value:<8} {rule.summary}")
     return "\n".join(lines)
+
+
+def list_rules_json() -> str:
+    payload = {
+        "version": 1,
+        "checkers": [
+            {
+                "name": checker.name,
+                "rules": [
+                    {
+                        "id": rule.id,
+                        "severity": rule.severity.value,
+                        "summary": rule.summary,
+                    }
+                    for rule in checker.rules
+                ],
+            }
+            for checker in all_checkers()
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def _known_selectors(checkers: Sequence[Checker]) -> set[str]:
@@ -84,14 +111,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list_rules:
-        print(list_rules())
+        print(list_rules_json() if args.format == "json" else list_rules())
         return 0
-    select = args.select.split(",") if args.select else None
-    if select is not None:
-        unknown = sorted(
+    select = None
+    if args.select:
+        select = [
             token.strip()
-            for token in select
-            if token.strip() not in _known_selectors(all_checkers())
+            for chunk in args.select
+            for token in chunk.split(",")
+            if token.strip()
+        ]
+    if select is not None:
+        known = _known_selectors(all_checkers())
+        unknown = sorted(
+            token for token in select
+            if not is_glob_selector(token) and token not in known
+        )
+        # A glob that matches nothing is as dead as a typo'd name.
+        unknown += sorted(
+            token for token in select
+            if is_glob_selector(token)
+            and not any(fnmatchcase(name, token.lower()) for name in known)
         )
         if unknown:
             parser.error(

@@ -13,8 +13,10 @@ broken or hostile trees and always terminate.
 from __future__ import annotations
 
 import ast
+import difflib
 import re
 from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
 from enum import Enum
 from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
@@ -198,15 +200,28 @@ def rule_selected(
     rule_id: str, checker_name: str, select: Optional[set[str]]
 ) -> bool:
     """Shared ``--select`` semantics: a selector matches a finding by
-    exact rule id, rule family (the prefix before the first ``-``), or
-    the owning checker/monitor name.  Used by both the static analyzer
-    and the dynamic monitors of :mod:`repro.verify`.
+    exact rule id, rule family (the prefix before the first ``-``), the
+    owning checker/monitor name, or — when it contains ``*``/``?``/``[``
+    — as a glob pattern over any of the three (``perf-*``).  Used by
+    both the static analyzer and the dynamic monitors of
+    :mod:`repro.verify`.
     """
     if select is None:
         return True
     rule = rule_id.lower()
-    family = rule.split("-", 1)[0]
-    return bool({rule, family, checker_name.lower()} & select)
+    names = (rule, rule.split("-", 1)[0], checker_name.lower())
+    for selector in select:
+        if is_glob_selector(selector):
+            if any(fnmatchcase(name, selector) for name in names):
+                return True
+        elif selector in names:
+            return True
+    return False
+
+
+def is_glob_selector(selector: str) -> bool:
+    """True when a ``--select`` token is a glob pattern, not a name."""
+    return any(ch in selector for ch in "*?[")
 
 
 def _selected(finding: Finding, checker_name: str, select: Optional[set[str]]) -> bool:
@@ -298,13 +313,17 @@ class Analyzer:
             if not rules:  # no comment, or a blanket noqa
                 continue
             for rule_id in sorted(rules - known):
+                message = f"noqa names unknown rule {rule_id!r}"
+                close = difflib.get_close_matches(rule_id, known, n=1)
+                if close:
+                    message += f" (did you mean {close[0]!r}?)"
                 yield Finding(
                     file=module.path,
                     line=lineno,
                     col=1,
                     rule=NOQA_UNKNOWN_RULE,
                     severity=Severity.WARNING,
-                    message=f"noqa names unknown rule {rule_id!r}",
+                    message=message,
                 )
 
 

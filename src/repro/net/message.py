@@ -14,7 +14,7 @@ if TYPE_CHECKING:  # pragma: no cover
 _msg_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A unit of delivery: source, destination, kind tag, and payload.
 

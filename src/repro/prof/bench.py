@@ -30,7 +30,7 @@ from repro.errors import ReproError
 from repro.gram.states import JobState
 from repro.gridenv import DEFAULT_EXECUTABLE, Grid, GridBuilder
 from repro.prof.diff import ProfileDiff, diff_profiles
-from repro.prof.profile import Profile, profile_grid
+from repro.prof.profile import Profile, profile_grid, profile_spans
 
 #: Default root seed for the suite (matches the chaos harness).
 DEFAULT_SEED = 42
@@ -162,6 +162,103 @@ def _run_campaign_baseline(seed: int) -> Profile:
     return profile
 
 
+#: kernel_stress workload shape (~5 × 10⁴ events): enough churn for the
+#: heap high-water mark to separate the lazy-deletion kernel from the
+#: compacting one, small enough to run in seconds under CI.
+_STRESS_WORKERS = 150
+_STRESS_ROUNDS = 60
+_STRESS_CLIENTS = 40
+_STRESS_TRIPS = 100
+
+
+def _kernel_stress_run(seed: int, compact_cancelled: bool = True):
+    """Run the raw-kernel stress workload; returns ``(tracer, counters)``.
+
+    Two concurrent phases exercise the event kernel directly, below the
+    protocol layers:
+
+    * **timer churn** — workers repeatedly arm a long watchdog timeout,
+      finish their (short) work, and retire the watchdog: the classic
+      pattern that floods a lazy-deletion heap with cancelled entries;
+    * **message storm** — clients ping an echo server through the
+      simulated network, one round trip at a time.
+
+    The workload draws no random numbers, so it is deterministic by
+    construction; ``seed`` only stamps the profile metadata.  The
+    ``compact_cancelled`` knob exists so benchmarks can measure the
+    pre-compaction kernel against the same workload.
+    """
+    from repro.net.address import Endpoint
+    from repro.net.message import Message
+    from repro.net.network import Network
+    from repro.prof.counters import OpCounters
+    from repro.simcore.environment import Environment
+    from repro.simcore.tracing import Tracer
+
+    env = Environment(compact_cancelled=compact_cancelled)
+    counters = OpCounters()
+    env.probe = counters
+    tracer = Tracer(env)
+    phase_end = {"churn": 0.0, "storm": 0.0}
+
+    def churn_worker(env):
+        for _ in range(_STRESS_ROUNDS):
+            watchdog = env.timeout(1_000.0)
+            yield env.timeout(0.01)
+            # The work finished in time: retire the watchdog.
+            watchdog.cancelled = True
+        phase_end["churn"] = max(phase_end["churn"], env.now)
+
+    network = Network(env)
+    network.add_host("stress")
+    echo_endpoint = Endpoint("stress", "echo")
+    echo_box = network.bind(echo_endpoint)
+
+    def echo_server(env):
+        while True:
+            message = yield echo_box.get()
+            network.send(Message(
+                src=echo_endpoint, dst=message.reply_to,
+                kind="pong", payload=message.payload,
+            ))
+
+    def client(env, endpoint, box):
+        for i in range(_STRESS_TRIPS):
+            network.send(Message(
+                src=endpoint, dst=echo_endpoint,
+                kind="ping", payload=i, reply_to=endpoint,
+            ))
+            yield box.get()
+        phase_end["storm"] = max(phase_end["storm"], env.now)
+
+    for worker in range(_STRESS_WORKERS):
+        env.process(churn_worker(env), name=f"churn-{worker}")
+    env.process(echo_server(env), name="echo")
+    for idx in range(_STRESS_CLIENTS):
+        endpoint = Endpoint("stress", f"client-{idx}")
+        env.process(
+            client(env, endpoint, network.bind(endpoint)),
+            name=f"client-{idx}",
+        )
+
+    env.run()
+
+    root = tracer.record("kernel_stress", 0.0, env.now)
+    tracer.record("timer_churn", 0.0, phase_end["churn"], parent=root)
+    tracer.record("message_storm", 0.0, phase_end["storm"], parent=root)
+    return tracer, counters
+
+
+def _run_kernel_stress(seed: int) -> Profile:
+    """ROADMAP item 1's yardstick: the raw kernel at ~5·10⁴ events."""
+    tracer, counters = _kernel_stress_run(seed)
+    return profile_spans(
+        tracer.spans,
+        counters=counters.snapshot(),
+        meta=_meta("kernel_stress", seed),
+    )
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -184,6 +281,12 @@ SCENARIOS: dict[str, Scenario] = {
             "campaign_baseline",
             "clean fault-campaign trial under the retrying agent",
             _run_campaign_baseline,
+        ),
+        Scenario(
+            "kernel_stress",
+            "raw event-kernel stress: timer churn + message storm "
+            "(~5e4 events, the ROADMAP item-1 yardstick)",
+            _run_kernel_stress,
         ),
     )
 }

@@ -233,18 +233,20 @@ class Condition(Event):
             self.succeed(ConditionValue())
             return
 
+        check = self._check
         for event in self._events:
             if event.processed:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _populate_value(self, value: ConditionValue) -> None:
+        collected = value.events
         for event in self._events:
             if isinstance(event, Condition):
                 event._populate_value(value)
-            elif event.processed and event not in value.events:
-                value.events.append(event)
+            elif event.processed and event not in collected:
+                collected.append(event)
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -273,12 +275,18 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when every event in ``events`` has fired."""
 
+    # Without its own __slots__ a subclass of a slotted base regains a
+    # per-instance __dict__ — one dict per fan-in event.
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
 
 
 class AnyOf(Condition):
     """Fires when the first event in ``events`` fires."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)

@@ -138,55 +138,59 @@ class Process(Event):
         env = self.env
         env._active_process = self
         self._target = None
+        # This runs once per yield of every process; hoist the lookups
+        # the loop would otherwise re-resolve each iteration.
+        generator = self._generator
+        schedule = env.schedule
+        resume = self._resume
 
         while True:
-            try:
+            # The generator protocol signals completion by raising
+            # StopIteration out of send()/throw(); there is no
+            # pre-checkable fast path.  Audited as the one irreducible
+            # per-resume try.
+            try:  # repro: noqa perf-try-in-loop
                 if event is None or event._ok:
-                    next_event = self._generator.send(None if event is None else event._value)
+                    next_event = generator.send(None if event is None else event._value)
                 else:
                     # Mark the failure as handled; the generator may choose
                     # to re-raise, which then fails this process.
                     event.defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self, priority=URGENT, delay=0.0)
+                schedule(self, priority=URGENT, delay=0.0)
                 break
             except StopProcess as stop:
-                self._generator.close()
+                generator.close()
                 self._ok = True
                 self._value = stop.args[0] if stop.args else None
-                env.schedule(self, priority=URGENT, delay=0.0)
+                schedule(self, priority=URGENT, delay=0.0)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
-                env.schedule(self, priority=URGENT, delay=0.0)
+                schedule(self, priority=URGENT, delay=0.0)
                 break
 
+            error: Optional[str] = None
             if not isinstance(next_event, Event):
-                exc = SimulationError(
-                    f"process {self.name!r} yielded a non-event: {next_event!r}"
-                )
+                error = f"yielded a non-event: {next_event!r}"
+            elif next_event.env is not env:
+                error = "yielded an event from another environment"
+            if error is not None:
                 self._ok = False
-                self._value = exc
-                env.schedule(self, priority=URGENT, delay=0.0)
-                break
-
-            if next_event.env is not env:
-                exc = SimulationError(
-                    f"process {self.name!r} yielded an event from another environment"
+                self._value = SimulationError(
+                    f"process {self.name!r} {error}"
                 )
-                self._ok = False
-                self._value = exc
-                env.schedule(self, priority=URGENT, delay=0.0)
+                schedule(self, priority=URGENT, delay=0.0)
                 break
 
             if next_event.callbacks is not None:
                 # Event not yet processed: suspend on it.
                 self._target = next_event
-                next_event.callbacks.append(self._resume)
+                next_event.callbacks.append(resume)
                 break
 
             # Event already processed: loop and feed its value immediately.

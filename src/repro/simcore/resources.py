@@ -70,11 +70,12 @@ class _BaseResource:
 
     def _wake(self) -> None:
         """Grant as many queued requests as currently possible (FIFO)."""
-        while self._waiters:
-            request = self._waiters[0]
+        waiters = self._waiters
+        while waiters:
+            request = waiters[0]
             if not self._try_grant(request):
                 break
-            self._waiters.popleft()
+            waiters.popleft()
 
     def _try_grant(self, request: BaseRequest) -> bool:  # pragma: no cover
         raise NotImplementedError
@@ -223,11 +224,12 @@ class Store(_BaseResource):
     def _wake(self) -> None:
         # Unlike slot resources, a filtered waiter at the head must not
         # block later waiters whose filters match: scan all waiters.
+        waiters = self._waiters
         idx = 0
-        while idx < len(self._waiters):
-            request = self._waiters[idx]
+        while idx < len(waiters):
+            request = waiters[idx]
             if self._try_grant(request):
-                del self._waiters[idx]
+                del waiters[idx]
                 # Restart: granting may have consumed items others wanted.
                 idx = 0
             else:

@@ -1,0 +1,32 @@
+"""perf-alloc-in-loop fixtures: per-iteration closures and comprehensions."""
+
+
+def dispatch(events, handler):  # repro: hotpath
+    for event in events:
+        callback = lambda e=event: handler(e)  # positive: lambda per event
+        callback()
+
+
+def fanout(events):  # repro: hotpath
+    for event in events:
+        def deliver():  # positive: closure per event
+            return event
+        deliver()
+
+
+def index(events):  # repro: hotpath
+    for event in events:
+        tags = {t.name: t for t in event.tags}  # positive: DictComp per event
+        event.use(tags)
+
+
+def prepared(events, handler):  # repro: hotpath
+    callback = lambda e: handler(e)  # negative: hoisted out of the loop
+    for event in events:
+        callback(event)
+
+
+def audited(events, handler):  # repro: hotpath
+    for event in events:
+        callback = lambda e=event: handler(e)  # repro: noqa perf-alloc-in-loop
+        callback()

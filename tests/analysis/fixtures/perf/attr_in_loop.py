@@ -1,0 +1,32 @@
+"""perf-attr-in-loop fixtures: re-resolved attribute chains."""
+
+
+class Kernel:
+    def drain(self):  # repro: hotpath
+        while self.queue.head is not None:  # positive: self.queue x2
+            self.queue.head.fire()
+
+    def drain_hoisted(self):  # repro: hotpath
+        pop = self.queue.pop  # negative: bound method hoisted to a local
+        while self.pending:
+            pop()
+
+    def single_read(self, items):  # repro: hotpath
+        for item in items:
+            item.fire(self.clock)  # negative: one resolution per chain
+
+    def rebound(self, batches):  # repro: hotpath
+        for batch in batches:
+            cursor = batch.head  # negative: 'cursor' rebound in the loop
+            cursor.fire()
+            cursor = cursor.next
+            cursor.fire()
+
+    def stored(self, items):  # repro: hotpath
+        for item in items:
+            self.last = item  # negative: written chain cannot be hoisted
+            self.last.fire()
+
+    def audited(self):  # repro: hotpath
+        while self.queue.head is not None:  # repro: noqa perf-attr-in-loop
+            self.queue.head.fire()

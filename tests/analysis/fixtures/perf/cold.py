@@ -1,0 +1,28 @@
+"""Scoping fixture: every perf sin, but no hot-path marker anywhere.
+
+The module's path does not match the hot-path registry and nothing is
+marked ``# repro: hotpath``, so the perf rules must stay silent — cold
+configuration code is allowed to be idiomatic rather than fast.
+"""
+
+import time
+
+
+class ColdEvent:
+    pass
+
+
+def setup(queue, kinds, handler):
+    queue.insert(0, "sentinel")
+    started = time.time()
+    banner = ""
+    for kind in kinds:
+        banner += str(kind)
+        callback = lambda k=kind: handler(k)
+        try:
+            callback()
+        except ValueError:
+            pass
+        if kind in ["a", "b", "c", "d"]:
+            queue.append(kind)
+    return started, banner

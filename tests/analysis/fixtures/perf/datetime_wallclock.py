@@ -1,0 +1,20 @@
+"""perf-datetime-wallclock fixtures: host-clock reads in simulated time."""
+
+import time
+from datetime import datetime
+
+
+def stamp_wallclock(event):  # repro: hotpath
+    event.at = time.time()  # positive: syscall + nondeterminism
+
+
+def stamp_datetime(event):  # repro: hotpath
+    event.at = datetime.now()  # positive
+
+
+def stamp_simulated(env, event):  # repro: hotpath
+    event.at = env.now  # negative: the simulated clock is free
+
+
+def stamp_audited(event):  # repro: hotpath
+    event.at = time.time()  # repro: noqa perf-datetime-wallclock

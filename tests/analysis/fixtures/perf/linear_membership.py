@@ -1,0 +1,23 @@
+"""perf-linear-membership fixtures: list/tuple membership scans."""
+
+ALLOWED = frozenset({"submit", "cancel", "status", "signal"})
+
+
+def route_list(kind):  # repro: hotpath
+    return kind in ["submit", "cancel", "status", "signal"]  # positive
+
+
+def route_tuple(kind):  # repro: hotpath
+    return kind in ("submit", "cancel", "status", "signal")  # positive: >= 4
+
+
+def route_small_tuple(kind):  # repro: hotpath
+    return kind in ("submit", "cancel")  # negative: small tuples are free
+
+
+def route_set(kind):  # repro: hotpath
+    return kind in ALLOWED  # negative: the fix itself
+
+
+def route_audited(kind):  # repro: hotpath
+    return kind in ["submit", "cancel"]  # repro: noqa perf-linear-membership

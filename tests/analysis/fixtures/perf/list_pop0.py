@@ -1,0 +1,25 @@
+"""perf-list-pop0 fixtures: list-head pops and inserts."""
+
+
+def drain(queue):  # repro: hotpath
+    while queue:
+        queue.pop(0)  # positive
+
+
+def requeue(queue, item):  # repro: hotpath
+    queue.insert(0, item)  # positive
+
+
+def drain_tail(queue):  # repro: hotpath
+    while queue:
+        queue.pop()  # negative: tail pop is O(1)
+
+
+def drain_deque(queue):  # repro: hotpath
+    while queue:
+        queue.popleft()  # negative: the fix itself
+
+
+def drain_audited(queue):  # repro: hotpath
+    while queue:
+        queue.pop(0)  # repro: noqa perf-list-pop0

@@ -1,0 +1,43 @@
+"""perf-no-slots fixtures: eventish classes with and without __slots__."""
+
+
+class BaseEvent:  # repro: hotpath
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class PendingEvent(BaseEvent):  # repro: hotpath
+    # positive: subclass of a slotted base, no own __slots__.
+    pass
+
+
+class DoneEvent(BaseEvent):  # repro: hotpath
+    # negative: empty __slots__ keeps the instance dict away.
+    __slots__ = ()
+
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class RetryMessage:  # repro: hotpath
+    # positive: dataclass without slots=True.
+    attempt: int = 0
+
+
+@dataclasses.dataclass(slots=True)
+class AckMessage:  # repro: hotpath
+    # negative: slots=True already removes the per-instance dict.
+    ok: bool = True
+
+
+class LegacyTimeout(BaseEvent):  # repro: hotpath  # repro: noqa perf-no-slots
+    # suppressed: audited legacy class kept dict-bearing on purpose.
+    pass
+
+
+class ColdConfig:  # repro: hotpath
+    # negative: not event/message-like by name or base.
+    pass

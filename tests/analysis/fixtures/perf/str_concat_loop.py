@@ -1,0 +1,36 @@
+"""perf-str-concat-loop fixtures: quadratic string building."""
+
+
+def render(events):  # repro: hotpath
+    out = ""
+    for event in events:
+        out += str(event)  # positive: quadratic accumulator copy
+    return out
+
+
+def render_binop(events):  # repro: hotpath
+    out = ""
+    for event in events:
+        out = out + str(event)  # positive: x = x + <str>
+    return out
+
+
+def render_joined(events):  # repro: hotpath
+    parts = []
+    for event in events:
+        parts.append(str(event))  # negative: the fix itself
+    return "".join(parts)
+
+
+def count(events):  # repro: hotpath
+    total = 0
+    for event in events:
+        total += 1  # negative: integer augmented add
+    return total
+
+
+def render_audited(events):  # repro: hotpath
+    out = ""
+    for event in events:
+        out += str(event)  # repro: noqa perf-str-concat-loop
+    return out

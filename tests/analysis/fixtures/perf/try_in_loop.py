@@ -1,0 +1,33 @@
+"""perf-try-in-loop fixtures: per-iteration exception setup."""
+
+
+def drain(queue):  # repro: hotpath
+    while True:
+        try:  # positive: exception setup per pop
+            item = queue.pop()
+        except IndexError:
+            break
+        item.fire()
+
+
+def drain_prechecked(queue):  # repro: hotpath
+    while queue:  # negative: emptiness checked before the pop
+        queue.pop().fire()
+
+
+def load(path):  # repro: hotpath
+    try:  # negative: the try wraps the loop, set up once
+        for line in path.read():
+            line.parse()
+    except OSError:
+        return None
+
+
+def drain_audited(queue):  # repro: hotpath
+    while True:
+        # Audited: the producer protocol offers no emptiness probe.
+        try:  # repro: noqa perf-try-in-loop
+            item = queue.pop()
+        except IndexError:
+            break
+        item.fire()

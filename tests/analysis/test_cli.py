@@ -70,9 +70,67 @@ def test_list_rules(capsys):
     out = capsys.readouterr().out
     for rule in (
         "det-wallclock", "sm-illegal-transition", "cb-blocking",
-        "rsl-unknown-attribute",
+        "rsl-unknown-attribute", "perf-no-slots",
     ):
         assert rule in out
+
+
+def test_list_rules_json(capsys):
+    assert main(["--list-rules", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    by_name = {entry["name"]: entry for entry in payload["checkers"]}
+    assert "perf" in by_name
+    perf_ids = {rule["id"] for rule in by_name["perf"]["rules"]}
+    assert "perf-list-pop0" in perf_ids
+    for entry in by_name.values():
+        for rule in entry["rules"]:
+            assert rule["severity"] in ("error", "warning")
+            assert rule["summary"]
+
+
+def test_select_accepts_globs(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import random\n\n"
+        "def hot(queue):  # repro: hotpath\n"
+        "    queue.pop(0)\n"
+    )
+    assert main([str(bad), "--select", "perf-*"]) == 1
+    assert main([str(bad), "--select", "det-*"]) == 1
+    assert main([str(bad), "--select", "sm-*"]) == 0
+    # Globs compose with plain selectors in one token list.
+    assert main([str(bad), "--select", "sm,perf-*"]) == 1
+
+
+def test_select_is_repeatable(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n\nSPEC = \"&(cuont=4)\"\n")
+    # Both families survive two --select flags (append, not last-wins).
+    proc = run_cli(str(bad), "--select", "det", "--select", "rsl",
+                   "--format", "json")
+    payload = json.loads(proc.stdout)
+    assert {f["rule"] for f in payload["findings"]} == {
+        "det-stdlib-random", "rsl-unknown-attribute",
+    }
+
+
+def test_select_rejects_unmatched_glob():
+    proc = run_cli("src", "--select", "bogus-*")
+    assert proc.returncode == 2
+    assert "bogus-*" in proc.stderr
+
+
+def test_perf_family_clean_on_kernel_tree():
+    # The CI perf-lint step: the fixed kernel has zero unsuppressed
+    # perf findings.
+    proc = run_cli(
+        "--select", "perf-*",
+        str(REPO_ROOT / "src" / "repro" / "simcore"),
+        str(REPO_ROOT / "src" / "repro" / "net"),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
 
 
 def test_main_inprocess_clean_on_examples(capsys):

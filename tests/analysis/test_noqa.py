@@ -55,7 +55,19 @@ def test_unknown_id_warns_and_does_not_suppress(tmp_path):
     )
     assert warning.severity is Severity.WARNING
     assert "toy-pritn" in warning.message
+    # Did-you-mean: the nearest valid rule id rides along, so a typo'd
+    # suppression can be repaired without hunting through --list-rules.
+    assert "did you mean 'toy-print'?" in warning.message
     assert report.suppressed == 0
+
+
+def test_unknown_id_far_from_any_rule_has_no_suggestion(tmp_path):
+    report = run("print(1)  # repro: noqa zzz-qqq\n", tmp_path)
+    warning = next(
+        f for f in report.findings if f.rule == "noqa-unknown-rule"
+    )
+    assert "zzz-qqq" in warning.message
+    assert "did you mean" not in warning.message
 
 
 def test_unknown_id_warning_is_itself_suppressible(tmp_path):

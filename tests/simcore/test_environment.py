@@ -95,3 +95,87 @@ class TestClock:
         # Events scheduled exactly at the horizon run before the stop
         # (NORMAL priority < stop priority).
         assert fired == ["at-5"]
+
+
+class TestHeapCompaction:
+    """Cancelled-event compaction: smaller heap, identical pop order."""
+
+    def _churn(self, env, rounds=600):
+        """Arm-and-retire watchdog timers, the compaction-worthy shape."""
+
+        def proc(env):
+            for _ in range(rounds):
+                watchdog = env.timeout(10_000.0)
+                yield env.timeout(0.01)
+                watchdog.cancelled = True
+
+        env.process(proc(env))
+
+    def test_compaction_bounds_queue_size(self):
+        env = Environment()
+        self._churn(env)
+        high_water = 0
+
+        real_schedule = env.schedule
+
+        def watching_schedule(*args, **kwargs):
+            nonlocal high_water
+            real_schedule(*args, **kwargs)
+            high_water = max(high_water, env.queue_size)
+
+        env.schedule = watching_schedule
+        env.run()
+        # 600 cancelled watchdogs would pile up without compaction; the
+        # doubling floor keeps the queue within a small constant of the
+        # live population (~2 events).
+        assert high_water <= 2 * max(128, 4)
+
+    def test_compaction_off_accumulates_cancelled(self):
+        env = Environment(compact_cancelled=False)
+        self._churn(env)
+        peak = 0
+
+        def proc(env):
+            nonlocal peak
+            while True:
+                yield env.timeout(0.01)
+                peak = max(peak, env.queue_size)
+
+        env.process(proc(env))
+        env.run(until=6.5)
+        assert peak > 500  # the retired watchdogs stay queued
+
+    def test_pop_order_identical_with_and_without_compaction(self):
+        def workload(env, order):
+            def worker(env, idx):
+                for round_ in range(40):
+                    watchdog = env.timeout(50.0)
+                    yield env.timeout(0.01 * (1 + (idx + round_) % 7))
+                    watchdog.cancelled = True
+                    order.append((env.now, idx, round_))
+
+            for idx in range(20):
+                env.process(worker(env, idx))
+            env.run()
+
+        with_compaction: list = []
+        workload(Environment(compact_cancelled=True), with_compaction)
+        without: list = []
+        workload(Environment(compact_cancelled=False), without)
+        assert with_compaction == without
+
+    def test_compacted_events_still_fire_when_not_cancelled(self):
+        env = Environment()
+        fired = []
+        for i in range(500):
+            ev = env.timeout(float(i), value=i)
+            ev.callbacks.append(lambda e: fired.append(e.value))
+        env.run()
+        assert fired == list(range(500))
+
+    def test_peek_skips_cancelled_head(self):
+        env = Environment()
+        doomed = env.timeout(1.0)
+        env.timeout(2.0)
+        doomed.cancelled = True
+        assert env.peek() == 2.0
