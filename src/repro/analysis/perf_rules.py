@@ -61,6 +61,11 @@ HOT_PATHS: dict[str, Optional[frozenset[str]]] = {
     "repro/net/message.py": None,
     "repro/net/network.py": None,
     "repro/net/transport.py": None,
+    # Telemetry records: one Span/Mark per completion, at event rate
+    # when tracing; the streaming sinks keep only these objects.
+    "repro/simcore/tracing.py": frozenset(
+        {"Span", "Mark", "TraceContext", "_OpenSpan", "_NullSpan"}
+    ),
 }
 
 #: Base-class names marking a class as an event/message-like record —
@@ -70,7 +75,7 @@ EVENTISH_BASES = frozenset(
 )
 
 #: Class-name suffixes with the same implication as an eventish base.
-EVENTISH_NAME = re.compile(r"(Event|Message|Request|Timeout)$")
+EVENTISH_NAME = re.compile(r"(Event|Message|Request|Timeout|Span|Mark|Context)$")
 
 #: Wall-clock/entropy call tails (mirrors the det-wallclock set; the
 #: perf rule adds the hot-path cost angle and cross-references it).

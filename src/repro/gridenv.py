@@ -33,7 +33,7 @@ from repro.schedulers.fork import ForkScheduler
 from repro.schedulers.reservation import ReservationScheduler
 from repro.simcore.environment import Environment
 from repro.simcore.rng import RngRegistry
-from repro.simcore.tracing import NullTracer, Tracer
+from repro.simcore.tracing import NullTracer, SpanSink, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.prof.counters import OpCounters
@@ -173,6 +173,7 @@ class GridBuilder:
         self._faults: list[FaultSpec] = []
         self._recorder: "Optional[Recorder]" = None
         self._counters: "Optional[OpCounters]" = None
+        self._span_sink: Optional[SpanSink] = None
 
     def add_machine(
         self,
@@ -260,6 +261,21 @@ class GridBuilder:
         self._counters = counters
         return self
 
+    def with_span_sink(self, sink: SpanSink) -> "GridBuilder":
+        """Stream the grid's telemetry through ``sink``.
+
+        The built tracer routes every completed span and mark through
+        the sink (sampling, bounded-memory aggregation, and incremental
+        JSONL export live in :mod:`repro.obs.streaming`) and meters
+        itself — ``obs.spans_*`` instruments plus the
+        ``on_spans_retained`` probe hook.  Sinks are observation-only,
+        so the simulation stays byte-identical to a retain-all run.
+        Call ``grid.tracer.close()`` after the run to flush the sink.
+        Ignored when ``trace=False``.
+        """
+        self._span_sink = sink
+        return self
+
     def build(self) -> Grid:
         if not self._machines:
             raise ReproError("a grid needs at least one machine")
@@ -282,7 +298,9 @@ class GridBuilder:
             jitter_cv=self.latency_jitter_cv,
             rng=rngs.stream("net.latency") if self.latency_jitter_cv else None,
         )
-        tracer = Tracer(env) if self.trace else NullTracer(env)
+        tracer = (
+            Tracer(env, sink=self._span_sink) if self.trace else NullTracer(env)
+        )
         network = Network(env, latency_model, metrics=tracer.metrics)
         network.add_host(self.client_host)
         ca = CertificateAuthority()

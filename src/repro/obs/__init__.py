@@ -10,6 +10,9 @@ Three pillars (see docs/OBSERVABILITY.md):
 - **Queries** — exporters (:mod:`repro.obs.export`), tree/critical-path
   analysis (:mod:`repro.obs.query`), renderers (:mod:`repro.obs.render`)
   and the ``python -m repro.obs`` CLI.
+- **Streaming** — :mod:`repro.obs.streaming` sinks behind the tracer's
+  :class:`~repro.simcore.tracing.SpanSink` seam: deterministic trace
+  sampling, bounded-memory aggregation, incremental JSONL export.
 """
 
 from repro.obs.metrics import (
@@ -22,14 +25,30 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     WindowedRate,
 )
+from repro.obs.streaming import (
+    AGGREGATE_FORMAT,
+    AggregatingSink,
+    JsonlStreamSink,
+    TelemetryPipeline,
+    TraceSampler,
+    aggregate_trace,
+    load_aggregate,
+)
 
 __all__ = [
+    "AGGREGATE_FORMAT",
+    "AggregatingSink",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
     "Histogram",
+    "JsonlStreamSink",
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetricsRegistry",
+    "TelemetryPipeline",
+    "TraceSampler",
     "WindowedRate",
+    "aggregate_trace",
+    "load_aggregate",
 ]

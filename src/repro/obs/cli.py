@@ -7,6 +7,7 @@ Inspect trace and metrics exports produced by an instrumented run::
     python -m repro.obs critical-path results/quickstart_trace.jsonl
     python -m repro.obs summary results/quickstart_trace.jsonl
     python -m repro.obs metrics results/quickstart_metrics.json
+    python -m repro.obs report results/telemetry_aggregate.json
 
 Exit status mirrors ``python -m repro.analysis``: 0 on success, 1 when
 the query found nothing to show (empty trace, unknown trace id) or the
@@ -32,12 +33,15 @@ from repro.obs.query import (
     tree,
 )
 from repro.obs.render import (
+    DEFAULT_MAX_ROWS,
     render_critical_path,
     render_gantt,
     render_metrics,
+    render_report,
     render_summary,
     render_tree,
 )
+from repro.obs.streaming import AGGREGATE_FORMAT, aggregate_trace
 
 #: Minimum fraction of spans whose parent chain must reach a root for a
 #: trace to pass ``--validate`` (the repo's acceptance bar).
@@ -64,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     timeline.add_argument(
         "--width", type=int, default=64, help="chart width in columns"
+    )
+    timeline.add_argument(
+        "--max-rows", type=int, default=DEFAULT_MAX_ROWS,
+        help="span rows before same-name lanes are collapsed "
+        f"(default: {DEFAULT_MAX_ROWS}; 0 = never collapse)",
     )
 
     tree_cmd = sub.add_parser("tree", help="causal tree of one trace")
@@ -94,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = sub.add_parser("metrics", help="flatten a metrics snapshot")
     metrics.add_argument("snapshot", help="metrics JSON export")
+
+    report = sub.add_parser(
+        "report",
+        help="path/tenant aggregate report (streamed snapshot or full dump)",
+    )
+    report.add_argument(
+        "source",
+        help=f"a {AGGREGATE_FORMAT} snapshot, or a JSONL trace "
+        "to aggregate post-hoc",
+    )
+    report.add_argument(
+        "--top", type=int, default=20, help="paths shown (default: 20)"
+    )
 
     return parser
 
@@ -142,6 +164,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _emit(render_metrics(snapshot))
         return 0 if snapshot.get("metrics") else 1
 
+    if args.command == "report":
+        aggregate = _load_aggregate_source(parser, args.source)
+        if args.format == "json":
+            _emit(
+                json.dumps(
+                    _aggregate_with_summaries(aggregate), sort_keys=True, indent=2
+                )
+            )
+        else:
+            _emit(render_report(aggregate, top=args.top))
+        return 0 if aggregate.get("spans") else 1
+
     dump = _load(parser, args.trace)
 
     if args.command == "timeline":
@@ -160,7 +194,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             )
         else:
-            _emit(render_gantt(spans, marks, width=args.width))
+            max_rows = args.max_rows if args.max_rows > 0 else None
+            _emit(render_gantt(spans, marks, width=args.width, max_rows=max_rows))
         return 0 if spans else 1
 
     if args.command in ("tree", "critical-path"):
@@ -221,6 +256,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 1
     return 0
+
+
+def _load_aggregate_source(
+    parser: argparse.ArgumentParser, source: str
+) -> dict[str, Any]:
+    """An aggregate snapshot — loaded directly, or folded from a dump.
+
+    The ``report`` command accepts both inputs precisely so the two
+    can be diffed: the streamed snapshot of a run and the post-hoc
+    aggregation of its full dump must produce the same report.
+    """
+    path = Path(source)
+    if not path.is_file():
+        parser.error(f"no such file: {source}")
+    with path.open() as fh:
+        head = fh.read(1024).lstrip()
+    if head.startswith("{") and '"record"' not in head.split("\n", 1)[0]:
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            parser.error(f"cannot parse {source}: {exc}")
+        if not isinstance(data, dict) or data.get("format") != AGGREGATE_FORMAT:
+            parser.error(f"{source}: not a {AGGREGATE_FORMAT} snapshot")
+        return data
+    dump = _load(parser, source)
+    return aggregate_trace(dump).snapshot()
+
+
+def _aggregate_with_summaries(aggregate: dict[str, Any]) -> dict[str, Any]:
+    """Copy of an aggregate with p50/p90/p99 on every series record."""
+    out = dict(aggregate)
+    out["paths"] = {
+        path: {**record, "summary": histogram_summary(record)}
+        for path, record in aggregate.get("paths", {}).items()
+    }
+    out["labels"] = {
+        key: {
+            name: {**record, "summary": histogram_summary(record)}
+            for name, record in series.items()
+        }
+        for key, series in aggregate.get("labels", {}).items()
+    }
+    return out
 
 
 def _with_summaries(snapshot: dict[str, Any]) -> dict[str, Any]:

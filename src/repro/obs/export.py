@@ -78,8 +78,12 @@ def mark_record(mark: Mark) -> dict[str, Any]:
     }
 
 
-def _dumps(record: dict[str, Any]) -> str:
+def dumps_record(record: dict[str, Any]) -> str:
+    """One record in the canonical JSONL byte form (no newline)."""
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+_dumps = dumps_record
 
 
 def export_jsonl(trace: TraceSource) -> str:

@@ -16,6 +16,10 @@ from repro.simcore.tracing import Mark, Span
 #: Character used for span bars in the Gantt chart.
 BAR = "#"
 
+#: Row budget above which :func:`render_gantt` collapses same-name
+#: spans into aggregate lanes instead of drawing one lane per span.
+DEFAULT_MAX_ROWS = 200
+
 
 def _fmt(value: float) -> str:
     return f"{value:.6g}"
@@ -26,12 +30,19 @@ def render_gantt(
     marks: Sequence[Mark] = (),
     width: int = 64,
     title: Optional[str] = None,
+    max_rows: Optional[int] = DEFAULT_MAX_ROWS,
 ) -> str:
     """One lane per span, time left to right — the Fig. 5 shape.
 
     Lanes are ordered by start time; each shows the span name, its
     ``[start, end]`` window, and a proportional bar.  Marks are listed
     below the chart with their times.
+
+    Above ``max_rows`` spans the chart downsamples instead of scrolling
+    forever: same-name spans collapse into one aggregate lane covering
+    their envelope, lanes beyond the budget are cut, and a ``(+N
+    more)`` footer accounts for everything not drawn.  Pass
+    ``max_rows=None`` to force the full per-span rendering.
     """
     lines: list[str] = []
     if title:
@@ -45,19 +56,24 @@ def render_gantt(
     extent = max(t1 - t0, 1e-12)
     label_width = min(32, max(len(s.name) for s in spans) + 2)
 
+    def bar_for(start: float, end: float) -> str:
+        begin = round((start - t0) / extent * (width - 1))
+        finish = max(round((end - t0) / extent * (width - 1)), begin)
+        return (" " * begin + BAR * (finish - begin + 1)).ljust(width)
+
     lines.append(
         f"{'span':<{label_width}} {'':{width}} "
         f"[{_fmt(t0)} .. {_fmt(t1)}]s"
     )
+    if max_rows is not None and len(spans) > max_rows:
+        return "\n".join(
+            lines
+            + _collapsed_lanes(spans, marks, label_width, width, max_rows, bar_for)
+        )
     ordered = sorted(spans, key=lambda s: (s.start, s.end, s.name, s.span_id or 0))
     for span in ordered:
-        begin = round((span.start - t0) / extent * (width - 1))
-        finish = round((span.end - t0) / extent * (width - 1))
-        finish = max(finish, begin)
-        bar = " " * begin + BAR * (finish - begin + 1)
-        bar = bar.ljust(width)
         lines.append(
-            f"{span.name:<{label_width}} {bar} "
+            f"{span.name:<{label_width}} {bar_for(span.start, span.end)} "
             f"{_fmt(span.start)} -> {_fmt(span.end)} "
             f"({_fmt(span.duration)}s)"
         )
@@ -66,6 +82,54 @@ def render_gantt(
         pointer = " " * offset + "^"
         lines.append(f"{mark.name:<{label_width}} {pointer.ljust(width)} @{_fmt(mark.time)}")
     return "\n".join(lines)
+
+
+def _collapsed_lanes(
+    spans: Sequence[Span],
+    marks: Sequence[Mark],
+    label_width: int,
+    width: int,
+    max_rows: int,
+    bar_for: Any,
+) -> list[str]:
+    """Aggregate same-name lanes for an over-budget Gantt chart."""
+    groups: dict[str, list[Span]] = {}
+    for span in spans:
+        groups.setdefault(span.name, []).append(span)
+    lanes = sorted(
+        groups.items(),
+        key=lambda kv: (min(s.start for s in kv[1]), kv[0]),
+    )
+    shown = lanes[:max_rows]
+    lines: list[str] = []
+    for name, members in shown:
+        first = min(s.start for s in members)
+        last = max(s.end for s in members)
+        total = sum(s.duration for s in members)
+        lines.append(
+            f"{name:<{label_width}} {bar_for(first, last)} "
+            f"{_fmt(first)} -> {_fmt(last)} "
+            f"({len(members)} spans, {_fmt(total)}s total)"
+        )
+    hidden_lanes = len(lanes) - len(shown)
+    hidden_spans = sum(len(members) for _, members in lanes[max_rows:])
+    footer = f"({len(spans)} spans collapsed into {len(shown)} lanes"
+    if hidden_lanes:
+        footer += f", +{hidden_spans} more in {hidden_lanes} lanes not shown"
+    lines.append(footer + ")")
+    if marks:
+        mark_groups: dict[str, list[Mark]] = {}
+        for mark in marks:
+            mark_groups.setdefault(mark.name, []).append(mark)
+        for name in sorted(mark_groups):
+            members = mark_groups[name]
+            times = sorted(m.time for m in members)
+            suffix = f" (+{len(times) - 1} more)" if len(times) > 1 else ""
+            lines.append(
+                f"{name:<{label_width}} {'^'.ljust(width)} "
+                f"@{_fmt(times[0])}{suffix}"
+            )
+    return lines
 
 
 def render_tree(roots: Sequence[SpanNode]) -> str:
@@ -128,6 +192,81 @@ def render_summary(stats: Sequence[NameStats]) -> str:
             f"{s.name:<{name_width}} {s.count:>6} {_fmt(s.total):>12} "
             f"{_fmt(s.p50):>12} {_fmt(s.p95):>12} {_fmt(s.max):>12}"
         )
+    return "\n".join(lines)
+
+
+def render_report(aggregate: dict[str, Any], top: int = 20) -> str:
+    """A streamed-aggregate report: top paths, then per-label sections.
+
+    Consumes the ``repro.obs.aggregate/1`` snapshot written by
+    :class:`repro.obs.streaming.AggregatingSink` — the same numbers
+    whether the aggregate was folded live or rebuilt post-hoc from a
+    full dump, which is exactly what the byte-identity tests assert.
+    """
+    lines = [
+        f"telemetry report: {aggregate.get('spans', 0)} spans, "
+        f"{aggregate.get('marks', 0)} marks"
+    ]
+    window = aggregate.get("window")
+    span_seconds = 0.0
+    if window:
+        span_seconds = float(window["end"]) - float(window["start"])
+        lines[0] += f" over [{_fmt(window['start'])} .. {_fmt(window['end'])}]s"
+
+    paths = aggregate.get("paths", {})
+    if not paths:
+        lines.append("(no paths)")
+    else:
+        ordered = sorted(
+            paths.items(), key=lambda kv: (-kv[1]["sum"], kv[0])
+        )
+        name_width = max(
+            4, min(48, max(len(path) for path, _ in ordered[:top]))
+        )
+        header = (
+            f"{'path':<{name_width}} {'count':>7} {'total':>12} "
+            f"{'p50':>10} {'p90':>10} {'p99':>10} {'max':>10}"
+        )
+        lines += [header, "-" * len(header)]
+        for path, record in ordered[:top]:
+            summary = histogram_summary(record)
+            if len(path) > name_width:  # keep the tail: it names the leaf
+                path = "..." + path[len(path) - name_width + 3 :]
+            lines.append(
+                f"{path:<{name_width}} {record['count']:>7} "
+                f"{_fmt(record['sum']):>12} {_fmt(summary['p50']):>10} "
+                f"{_fmt(summary['p90']):>10} {_fmt(summary['p99']):>10} "
+                f"{_fmt(record['max']):>10}"
+            )
+        if len(ordered) > top:
+            lines.append(f"(+{len(ordered) - top} more paths)")
+
+    for key in sorted(aggregate.get("labels", {})):
+        series = aggregate["labels"][key]
+        lines.append("")
+        lines.append(f"by {key}:")
+        name_width = max(len(key), max(len(name) for name in series))
+        header = (
+            f"  {key:<{name_width}} {'count':>7} {'total':>12} "
+            f"{'p50':>10} {'p90':>10} {'p99':>10} {'goodput':>10}"
+        )
+        lines += [header, "  " + "-" * (len(header) - 2)]
+        for name in sorted(series):
+            record = series[name]
+            summary = histogram_summary(record)
+            rec_window = record.get("window")
+            active = (
+                float(rec_window["end"]) - float(rec_window["start"])
+                if rec_window
+                else span_seconds
+            )
+            goodput = record["count"] / active if active > 0 else 0.0
+            lines.append(
+                f"  {name:<{name_width}} {record['count']:>7} "
+                f"{_fmt(record['sum']):>12} {_fmt(summary['p50']):>10} "
+                f"{_fmt(summary['p90']):>10} {_fmt(summary['p99']):>10} "
+                f"{_fmt(goodput):>8}/s"
+            )
     return "\n".join(lines)
 
 

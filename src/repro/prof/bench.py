@@ -48,6 +48,8 @@ SNAPSHOT_COUNTERS = (
     "net.messages_delivered",
     "rpc.round_trips",
     "resilience.retries",
+    "obs.spans_recorded",
+    "obs.spans_retained_high_water",
 )
 
 
@@ -171,7 +173,13 @@ _STRESS_CLIENTS = 40
 _STRESS_TRIPS = 100
 
 
-def _kernel_stress_run(seed: int, compact_cancelled: bool = True):
+def _kernel_stress_run(
+    seed: int,
+    compact_cancelled: bool = True,
+    sink=None,
+    trace_spans: bool = False,
+    probes: Sequence = (),
+):
     """Run the raw-kernel stress workload; returns ``(tracer, counters)``.
 
     Two concurrent phases exercise the event kernel directly, below the
@@ -187,27 +195,52 @@ def _kernel_stress_run(seed: int, compact_cancelled: bool = True):
     construction; ``seed`` only stamps the profile metadata.  The
     ``compact_cancelled`` knob exists so benchmarks can measure the
     pre-compaction kernel against the same workload.
+
+    ``trace_spans`` opts into per-operation telemetry — one tenant-
+    labelled root span per storm client with a child span per round
+    trip, one job-labelled root per churn worker with a child per
+    round (~1.3 × 10⁴ spans) — the workload behind ``telemetry_stress``
+    and the streaming-sink gate.  ``sink`` is handed to the tracer
+    (see :class:`~repro.simcore.tracing.SpanSink`); extra ``probes``
+    are fanned out with the op counters.
     """
     from repro.net.address import Endpoint
     from repro.net.message import Message
     from repro.net.network import Network
     from repro.prof.counters import OpCounters
     from repro.simcore.environment import Environment
+    from repro.simcore.probe import FanoutProbe
     from repro.simcore.tracing import Tracer
 
     env = Environment(compact_cancelled=compact_cancelled)
     counters = OpCounters()
-    env.probe = counters
-    tracer = Tracer(env)
+    if probes:
+        env.probe = FanoutProbe([counters, *probes])
+    else:
+        env.probe = counters
+    tracer = Tracer(env, sink=sink)
     phase_end = {"churn": 0.0, "storm": 0.0}
 
-    def churn_worker(env):
+    def churn_worker(env, worker):
+        span = (
+            tracer.span("churn.worker", job=f"job-{worker % 10}")
+            if trace_spans
+            else None
+        )
         for _ in range(_STRESS_ROUNDS):
+            round_start = env.now
             watchdog = env.timeout(1_000.0)
             yield env.timeout(0.01)
             # The work finished in time: retire the watchdog.
             watchdog.cancelled = True
+            if span is not None:
+                tracer.record(
+                    "churn.round", round_start, env.now, parent=span,
+                    job=f"job-{worker % 10}",
+                )
         phase_end["churn"] = max(phase_end["churn"], env.now)
+        if span is not None:
+            span.close()
 
     network = Network(env)
     network.add_host("stress")
@@ -222,22 +255,36 @@ def _kernel_stress_run(seed: int, compact_cancelled: bool = True):
                 kind="pong", payload=message.payload,
             ))
 
-    def client(env, endpoint, box):
+    def client(env, endpoint, box, idx):
+        tenant = f"tenant-{idx % 8}"
+        span = (
+            tracer.span("storm.client", tenant=tenant, client=idx)
+            if trace_spans
+            else None
+        )
         for i in range(_STRESS_TRIPS):
+            trip_start = env.now
             network.send(Message(
                 src=endpoint, dst=echo_endpoint,
                 kind="ping", payload=i, reply_to=endpoint,
             ))
             yield box.get()
+            if span is not None:
+                tracer.record(
+                    "storm.trip", trip_start, env.now, parent=span,
+                    tenant=tenant,
+                )
         phase_end["storm"] = max(phase_end["storm"], env.now)
+        if span is not None:
+            span.close()
 
     for worker in range(_STRESS_WORKERS):
-        env.process(churn_worker(env), name=f"churn-{worker}")
+        env.process(churn_worker(env, worker), name=f"churn-{worker}")
     env.process(echo_server(env), name="echo")
     for idx in range(_STRESS_CLIENTS):
         endpoint = Endpoint("stress", f"client-{idx}")
         env.process(
-            client(env, endpoint, network.bind(endpoint)),
+            client(env, endpoint, network.bind(endpoint), idx),
             name=f"client-{idx}",
         )
 
@@ -256,6 +303,29 @@ def _run_kernel_stress(seed: int) -> Profile:
         tracer.spans,
         counters=counters.snapshot(),
         meta=_meta("kernel_stress", seed),
+    )
+
+
+def _run_telemetry_stress(seed: int) -> Profile:
+    """The kernel stress workload under full span telemetry.
+
+    Every round trip and churn round records a span through the
+    streaming pipeline (aggregation plus self-metering, retain-all so
+    the profile still sees every span); the bounded-memory variant of
+    the same run is asserted by ``benchmarks/streaming_gate.py``.
+    """
+    from repro.obs.streaming import AggregatingSink, TelemetryPipeline
+    from repro.prof.profile import counters_from_metrics
+
+    sink = TelemetryPipeline(aggregator=AggregatingSink(), retain=True)
+    tracer, counters = _kernel_stress_run(seed, sink=sink, trace_spans=True)
+    tracer.close()
+    merged = counters_from_metrics(tracer.metrics.snapshot())
+    merged.update(counters.snapshot())
+    return profile_spans(
+        tracer.spans,
+        counters=merged,
+        meta=_meta("telemetry_stress", seed),
     )
 
 
@@ -287,6 +357,12 @@ SCENARIOS: dict[str, Scenario] = {
             "raw event-kernel stress: timer churn + message storm "
             "(~5e4 events, the ROADMAP item-1 yardstick)",
             _run_kernel_stress,
+        ),
+        Scenario(
+            "telemetry_stress",
+            "kernel stress with a span per operation through the "
+            "streaming telemetry pipeline (~1.3e4 spans)",
+            _run_telemetry_stress,
         ),
     )
 }

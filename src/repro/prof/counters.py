@@ -39,6 +39,9 @@ class OpCounters(Probe):
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Peak span/mark records held by a sinked tracer (0 when the
+        #: run used retain-all tracing, which does not self-meter).
+        self.spans_retained_high_water = 0
 
     # -- probe hooks -------------------------------------------------------
 
@@ -59,11 +62,20 @@ class OpCounters(Probe):
     def on_drop(self, message: "Message", reason: str) -> None:
         self.messages_dropped += 1
 
+    def on_spans_retained(self, count: int) -> None:
+        if count > self.spans_retained_high_water:
+            self.spans_retained_high_water = count
+
     # -- export ------------------------------------------------------------
 
     def snapshot(self) -> dict[str, float]:
-        """The counts under their profile counter names."""
-        return {
+        """The counts under their profile counter names.
+
+        ``obs.spans_retained_high_water`` appears only when a sinked
+        tracer actually reported (retain-all runs never do), keeping
+        the snapshots of every pre-existing scenario byte-stable.
+        """
+        snap = {
             "sim.events_processed": float(self.events_processed),
             "sim.events_scheduled": float(self.events_scheduled),
             "sim.heap_high_water": float(self.heap_high_water),
@@ -71,6 +83,11 @@ class OpCounters(Probe):
             "sim.messages_delivered": float(self.messages_delivered),
             "sim.messages_dropped": float(self.messages_dropped),
         }
+        if self.spans_retained_high_water:
+            snap["obs.spans_retained_high_water"] = float(
+                self.spans_retained_high_water
+            )
+        return snap
 
     def __repr__(self) -> str:
         return (

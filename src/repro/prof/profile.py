@@ -50,6 +50,8 @@ METRIC_COUNTERS: tuple[tuple[str, str], ...] = (
     ("resilience.retries_total", "resilience.retries"),
     ("resilience.exhausted_total", "resilience.exhausted"),
     ("resilience.breaker_trips_total", "resilience.breaker_trips"),
+    ("obs.spans_recorded_total", "obs.spans_recorded"),
+    ("obs.spans_dropped_total", "obs.spans_dropped"),
 )
 
 

@@ -23,6 +23,7 @@ from repro.simcore.tracing import (
     Mark,
     NullTracer,
     Span,
+    SpanSink,
     TraceContext,
     Tracer,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "Resource",
     "RngRegistry",
     "Span",
+    "SpanSink",
     "Store",
     "Timeout",
     "TraceContext",

@@ -54,6 +54,14 @@ class Probe:
     def register_locus(self, endpoint: str, locus: str) -> None:
         """Map an endpoint onto its owning locus of control."""
 
+    def on_spans_retained(self, count: int) -> None:
+        """The telemetry layer's held-record count reached a new peak.
+
+        Reported by a sinked :class:`~repro.simcore.tracing.Tracer`
+        only when ``count`` exceeds every earlier value, so probes can
+        store it directly as a high-water mark.
+        """
+
 
 class FanoutProbe(Probe):
     """Dispatches every hook to several probes, in installation order.
@@ -99,6 +107,10 @@ class FanoutProbe(Probe):
     def register_locus(self, endpoint: str, locus: str) -> None:
         for probe in self.probes:
             probe.register_locus(endpoint, locus)
+
+    def on_spans_retained(self, count: int) -> None:
+        for probe in self.probes:
+            probe.on_spans_retained(count)
 
 
 def probe_of(env: "Environment") -> Optional[Probe]:

@@ -14,6 +14,16 @@ context is passed as a value (and rides on network messages as
 ``Message.trace_ctx``).  Ids are allocated from per-tracer counters,
 never module-level ones, so a run executed in isolation produces the
 same ids as the same run executed after another.
+
+By default a tracer *retains* every completed span and mark in memory
+— the right thing at paper scale, unbounded at 10⁵–10⁶ events.  The
+:class:`SpanSink` seam streams records out instead: a sink observes
+every completion and decides whether the tracer keeps the object
+(sampling, aggregation, and incremental export live in
+:mod:`repro.obs.streaming`).  With a sink attached the tracer also
+meters itself — ``obs.spans_{recorded,retained,dropped}`` on its
+metrics registry plus an ``on_spans_retained`` probe notification — so
+telemetry memory is a gated quantity, not a silent cost.
 """
 
 from __future__ import annotations
@@ -31,7 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover
 OBS_CONTEXT_PARAM = "obs.ctx"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceContext:
     """A position in a trace: which tree, and which node to hang off."""
 
@@ -39,7 +49,7 @@ class TraceContext:
     span_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Span:
     """A named interval of simulated time with free-form attributes."""
 
@@ -75,7 +85,7 @@ class Span:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Mark:
     """An instantaneous annotated event, optionally tied into a trace."""
 
@@ -96,6 +106,44 @@ class Mark:
 
 
 Parent = Union[TraceContext, Span, "_OpenSpan", None]
+
+
+class SpanSink:
+    """Observer of span/mark completions on a :class:`Tracer`.
+
+    Every hook is a cheap no-op in the base class; subclasses override
+    what they need.  ``on_span``/``on_mark`` return whether the tracer
+    should *retain* the record in its in-memory lists — a streaming
+    sink returns ``False`` and owns whatever bounded state it needs
+    (report :meth:`retained` so the tracer's self-metering stays
+    honest).  Sinks must never schedule events or draw random numbers:
+    like probes, they are observation-only, and a sinked run's
+    simulation is byte-identical to a bare one.
+    """
+
+    def on_span_start(
+        self,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+    ) -> None:
+        """A span was opened (ids are final; the end time is not known yet)."""
+
+    def on_span(self, span: Span) -> bool:
+        """A span completed.  Return ``True`` to retain it on the tracer."""
+        return True
+
+    def on_mark(self, mark: Mark) -> bool:
+        """A mark was recorded.  Return ``True`` to retain it on the tracer."""
+        return True
+
+    def retained(self) -> int:
+        """Records currently buffered *inside* the sink (for metering)."""
+        return 0
+
+    def close(self) -> None:
+        """Flush any buffered state; called once at end of run."""
 
 
 class _OpenSpan:
@@ -136,7 +184,7 @@ class _OpenSpan:
         if self._closed:
             return
         self._closed = True
-        self.tracer.spans.append(
+        self.tracer._emit_span(
             Span(
                 self.name,
                 self.start,
@@ -164,15 +212,35 @@ class Tracer:
     Also owns the run's :class:`~repro.obs.metrics.MetricsRegistry`
     (created lazily on first access so ``simcore`` has no import-time
     dependency on ``repro.obs``).
+
+    With no ``sink`` every completed record is appended to
+    :attr:`spans` / :attr:`marks` exactly as always.  With a
+    :class:`SpanSink` attached, completions are routed through the sink
+    (which may stream them out instead of retaining them) and the
+    tracer meters itself: ``obs.spans_recorded_total`` /
+    ``obs.spans_dropped_total`` counters, an ``obs.spans_retained``
+    gauge (whose high-water mark bounds telemetry memory), and an
+    ``on_spans_retained`` notification to the environment's probe.
     """
 
-    def __init__(self, env: "Environment") -> None:
+    def __init__(self, env: "Environment", sink: Optional[SpanSink] = None) -> None:
         self.env = env
         self.spans: list[Span] = []
         self.marks: list[Mark] = []
+        #: Peak number of span/mark records held by the telemetry layer
+        #: (tracer lists + sink buffers).  Only metered with a sink.
+        self.spans_retained_high_water = 0
+        self.sink = sink
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self._metrics: Optional["MetricsRegistry"] = None
+        self._meter_recorded: Any = None
+        self._meter_dropped: Any = None
+        self._meter_retained: Any = None
+        self._spans_by_name: Optional[dict[str, list[Span]]] = None
+        self._spans_indexed = 0
+        self._marks_by_name: Optional[dict[str, list[Mark]]] = None
+        self._marks_indexed = 0
 
     @property
     def metrics(self) -> "MetricsRegistry":
@@ -204,7 +272,10 @@ class Tracer:
         :meth:`record` is often simpler for yield-spanning intervals.
         """
         trace_id, parent_id = self._resolve_parent(parent)
-        return _OpenSpan(self, name, attrs, trace_id, next(self._span_ids), parent_id)
+        span_id = next(self._span_ids)
+        if self.sink is not None:
+            self.sink.on_span_start(trace_id, span_id, parent_id, name)
+        return _OpenSpan(self, name, attrs, trace_id, span_id, parent_id)
 
     def record(
         self,
@@ -216,13 +287,16 @@ class Tracer:
     ) -> Span:
         """Record a completed span directly."""
         trace_id, parent_id = self._resolve_parent(parent)
+        span_id = next(self._span_ids)
+        if self.sink is not None:
+            self.sink.on_span_start(trace_id, span_id, parent_id, name)
         span = Span(
             name, start, end, attrs,
             trace_id=trace_id,
-            span_id=next(self._span_ids),
+            span_id=span_id,
             parent_id=parent_id,
         )
-        self.spans.append(span)
+        self._emit_span(span)
         return span
 
     def mark(self, name: str, parent: Parent = None, **attrs: Any) -> Mark:
@@ -232,17 +306,115 @@ class Tracer:
         if parent is not None:
             trace_id, parent_id = self._resolve_parent(parent)
         mark = Mark(name, self.env.now, attrs, trace_id=trace_id, parent_id=parent_id)
-        self.marks.append(mark)
+        sink = self.sink
+        if sink is None:
+            self.marks.append(mark)
+        else:
+            retain = sink.on_mark(mark)
+            if retain:
+                self.marks.append(mark)
+            self._meter(dropped=not retain)
         return mark
+
+    # -- emission ----------------------------------------------------------
+
+    def _emit_span(self, span: Span) -> None:
+        """Route a completed span through the sink (or just retain it)."""
+        sink = self.sink
+        if sink is None:
+            self.spans.append(span)
+            return
+        retain = sink.on_span(span)
+        if retain:
+            self.spans.append(span)
+        self._meter(dropped=not retain)
+
+    def _meter(self, dropped: bool = False) -> None:
+        """Update the self-metering instruments after one completion."""
+        if self._meter_recorded is None:
+            metrics = self.metrics
+            self._meter_recorded = metrics.counter(
+                "obs.spans_recorded_total",
+                "span/mark completions seen by the telemetry layer",
+            )
+            self._meter_dropped = metrics.counter(
+                "obs.spans_dropped_total",
+                "completions not retained in memory (sampled out or streamed)",
+            )
+            self._meter_retained = metrics.gauge(
+                "obs.spans_retained",
+                "records currently held by the telemetry layer "
+                "(tracer lists + sink buffers); high_water bounds its memory",
+            )
+        self._meter_recorded.inc()
+        if dropped:
+            self._meter_dropped.inc()
+        sink = self.sink
+        held = len(self.spans) + len(self.marks)
+        if sink is not None:
+            held += sink.retained()
+        self._meter_retained.set(float(held))
+        if held > self.spans_retained_high_water:
+            self.spans_retained_high_water = held
+            probe = getattr(self.env, "probe", None)
+            if probe is not None:
+                probe.on_spans_retained(held)
+
+    def close(self) -> None:
+        """Flush the attached sink, if any (safe to call repeatedly)."""
+        if self.sink is not None:
+            self.sink.close()
 
     # -- queries -----------------------------------------------------------
 
+    def _span_index(self) -> dict[str, list[Span]]:
+        """Name → spans, built lazily and extended on append-only growth."""
+        spans = self.spans
+        count = len(spans)
+        index = self._spans_by_name
+        if index is None or count < self._spans_indexed:
+            index = self._spans_by_name = {}
+            self._spans_indexed = 0
+        if count > self._spans_indexed:
+            for span in spans[self._spans_indexed:]:
+                bucket = index.get(span.name)
+                if bucket is None:
+                    bucket = index[span.name] = []
+                bucket.append(span)
+            self._spans_indexed = count
+        return index
+
+    def _mark_index(self) -> dict[str, list[Mark]]:
+        marks = self.marks
+        count = len(marks)
+        index = self._marks_by_name
+        if index is None or count < self._marks_indexed:
+            index = self._marks_by_name = {}
+            self._marks_indexed = 0
+        if count > self._marks_indexed:
+            for mark in marks[self._marks_indexed:]:
+                bucket = index.get(mark.name)
+                if bucket is None:
+                    bucket = index[mark.name] = []
+                bucket.append(mark)
+            self._marks_indexed = count
+        return index
+
     def spans_named(self, name: str, **attr_filter: Any) -> list[Span]:
-        """All spans with the given name whose attrs include the filter."""
-        return [s for s in self.spans if s.name == name and _match(s.attrs, attr_filter)]
+        """All spans with the given name whose attrs include the filter.
+
+        Indexed: repeated queries cost O(matches), not O(total spans).
+        """
+        matches = self._span_index().get(name, [])
+        if not attr_filter:
+            return list(matches)
+        return [s for s in matches if _match(s.attrs, attr_filter)]
 
     def marks_named(self, name: str, **attr_filter: Any) -> list[Mark]:
-        return [m for m in self.marks if m.name == name and _match(m.attrs, attr_filter)]
+        matches = self._mark_index().get(name, [])
+        if not attr_filter:
+            return list(matches)
+        return [m for m in matches if _match(m.attrs, attr_filter)]
 
     def total(self, name: str, **attr_filter: Any) -> float:
         """Summed duration of all matching spans."""
@@ -310,9 +482,18 @@ class NullTracer(Tracer):
         self.env = env if env is not None else _FrozenClock()  # type: ignore[assignment]
         self.spans = _DropList()
         self.marks = _DropList()
+        self.spans_retained_high_water = 0
+        self.sink = None
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
         self._metrics = None
+        self._meter_recorded = None
+        self._meter_dropped = None
+        self._meter_retained = None
+        self._spans_by_name = None
+        self._spans_indexed = 0
+        self._marks_by_name = None
+        self._marks_indexed = 0
 
     @property
     def metrics(self) -> "MetricsRegistry":

@@ -86,6 +86,46 @@ class TestMissingParents:
         assert all(f"orphan{i}" in out for i in range(3))
 
 
+class TestRowBudget:
+    def _many(self, count, names=("alpha", "beta")):
+        return [
+            span(names[i % len(names)], float(i), float(i) + 1.0, sid=i + 1)
+            for i in range(count)
+        ]
+
+    def test_under_budget_renders_every_span(self):
+        out = render_gantt(self._many(10), max_rows=10)
+        assert len(out.splitlines()) == 11  # header + one lane per span
+        assert "collapsed" not in out
+
+    def test_over_budget_collapses_same_name_lanes(self):
+        out = render_gantt(self._many(300))  # default budget is 200
+        lines = out.splitlines()
+        # Header + two aggregate lanes + footer, not 300 rows.
+        assert len(lines) == 4
+        assert "(150 spans, 150s total)" in lines[1]
+        assert "(300 spans collapsed into 2 lanes)" in lines[-1]
+
+    def test_budget_overflow_gets_more_footer(self):
+        spans = [
+            span(f"name{i}", float(i), float(i) + 1.0, sid=i + 1)
+            for i in range(12)
+        ]
+        out = render_gantt(spans, max_rows=5)
+        assert "+7 more in 7 lanes not shown" in out
+
+    def test_marks_collapse_with_the_chart(self):
+        marks = [Mark("tick", float(i)) for i in range(20)]
+        out = render_gantt(self._many(250), marks=marks)
+        (mark_line,) = [line for line in out.splitlines() if "tick" in line]
+        assert "@0 (+19 more)" in mark_line
+
+    def test_max_rows_none_never_collapses(self):
+        out = render_gantt(self._many(250), max_rows=None)
+        assert len(out.splitlines()) == 251
+        assert "collapsed" not in out
+
+
 class TestSingleEventTraces:
     def test_empty_trace_renders_placeholder(self):
         assert "(no spans)" in render_gantt([])
