@@ -25,9 +25,11 @@ def is_deprecation_shim(module: Module) -> bool:
 
     A shim declares itself deprecated in its module docstring and emits
     ``DeprecationWarning`` at use; its imports exist purely to forward
-    old names (e.g. ``repro.net.faults`` → ``repro.faults``), so the
-    determinism lints would only flag code that is already scheduled
-    for deletion and unreachable without a warning.
+    old names to their new home, so the determinism lints would only
+    flag code that is already scheduled for deletion and unreachable
+    without a warning.  (The tree currently ships no such shims — the
+    last ones, the pre-facade fault helpers, finished their cycle —
+    but the exemption stays for the next deprecation.)
     """
     doc = ast.get_docstring(module.tree) or ""
     return "deprecated" in doc.lower() and "DeprecationWarning" in module.source

@@ -46,8 +46,11 @@ HOT_PATHS: dict[str, Optional[frozenset[str]]] = {
     # The kernel dispatch loop: pop, clock advance, callback fan-out.
     "repro/simcore/environment.py": frozenset(
         {"Environment.schedule", "Environment.step", "Environment.peek",
-         "Environment.run"}
+         "Environment._next_batched", "Environment.run"}
     ),
+    # Pending-event queues: every scheduled event passes through
+    # push/pop (and, batched, pop_run/peek_key) exactly once.
+    "repro/simcore/equeue.py": None,
     # Event primitives: one object per scheduled occurrence.
     "repro/simcore/events.py": None,
     # Process resumption: one _resume per yield of every process.
@@ -57,7 +60,10 @@ HOT_PATHS: dict[str, Optional[frozenset[str]]] = {
     ),
     # Wait-queue grant loops behind every mailbox and scheduler slot.
     "repro/simcore/resources.py": None,
-    # Message delivery: one envelope + one mailbox put per message.
+    # Message delivery: one envelope + one mailbox put per message;
+    # network.py includes the slotted delivery ring, address.py the
+    # endpoint keys hashed on every mailbox/slot probe.
+    "repro/net/address.py": None,
     "repro/net/message.py": None,
     "repro/net/network.py": None,
     "repro/net/transport.py": None,

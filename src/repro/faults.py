@@ -13,9 +13,10 @@ frozen dataclasses: hashable, comparable, serializable via
 Stochastic faults (:class:`MessageLoss`) draw from the grid's seeded
 RNG registry, so a faulted run is exactly reproducible from its seed.
 
-The older per-layer helpers (``repro.machine.faults.crash_at``,
-``repro.machine.faults.overload_during``, ``repro.net.faults.FaultPlan``)
-are deprecated shims over this module.
+This module is the only fault-injection entry point: the per-layer
+helpers that predated it (``repro.machine.faults.crash_at``,
+``repro.net.faults.FaultPlan``, ...) completed their deprecation
+cycle and have been removed.
 
 >>> from repro.faults import HostCrash, MessageLoss, schedule
 >>> grid = GridBuilder(seed=7).add_machine("RM1", nodes=8).with_faults(

@@ -68,7 +68,9 @@ def contact_endpoint(contact: str) -> Endpoint:
     """
     if ":" in contact:
         return Endpoint.parse(contact)
-    return Endpoint(contact, GATEKEEPER_PORT)
+    # Gatekeeper contacts are resolved once per request: intern them so
+    # repeated resolutions share one canonical (pre-hashed) instance.
+    return Endpoint(contact, GATEKEEPER_PORT).intern()
 
 
 class CallbackListener:

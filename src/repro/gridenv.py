@@ -32,6 +32,8 @@ from repro.schedulers.fcfs import FcfsScheduler
 from repro.schedulers.fork import ForkScheduler
 from repro.schedulers.reservation import ReservationScheduler
 from repro.simcore.environment import Environment
+from repro.simcore.equeue import EventQueue
+from repro.simcore.probe import FanoutProbe, Probe
 from repro.simcore.rng import RngRegistry
 from repro.simcore.tracing import NullTracer, SpanSink, Tracer
 
@@ -158,6 +160,9 @@ class GridBuilder:
         user: str = "alice",
         client_host: str = CLIENT_HOST,
         trace: bool = True,
+        queue: "str | EventQueue | None" = None,
+        slotted_delivery: bool = False,
+        slot_width: Optional[float] = None,
     ) -> None:
         self.seed = seed
         self.latency = latency
@@ -168,11 +173,21 @@ class GridBuilder:
         #: ``trace=False`` builds the grid on a NullTracer: no spans, no
         #: metrics, identical simulation behaviour (tested).
         self.trace = trace
+        #: Kernel event-queue selection, forwarded to
+        #: :class:`~repro.simcore.environment.Environment` — ``None`` /
+        #: ``"heap"`` / ``"calendar"`` or an
+        #: :class:`~repro.simcore.equeue.EventQueue` instance.
+        self.queue = queue
+        #: Forwarded to :class:`~repro.net.network.Network`: coalesce
+        #: same-deadline deliveries into one kernel event per
+        #: (destination, deadline) slot.  Opt-in — see the Network
+        #: docstring for the (same-instant ordering) caveat.
+        self.slotted_delivery = slotted_delivery
+        self.slot_width = slot_width
         self._machines: list[dict] = []
         self._programs: dict[str, Program] = {}
         self._faults: list[FaultSpec] = []
-        self._recorder: "Optional[Recorder]" = None
-        self._counters: "Optional[OpCounters]" = None
+        self._probes: list[Probe] = []
         self._span_sink: Optional[SpanSink] = None
 
     def add_machine(
@@ -223,74 +238,108 @@ class GridBuilder:
         self._faults.extend(specs)
         return self
 
+    def with_probe(self, *observers: "Probe | SpanSink") -> "GridBuilder":
+        """Attach observers to the built grid — the one composable seam.
+
+        Accepts any mix of :class:`~repro.simcore.probe.Probe`
+        subclasses (recorders, op counters, custom probes) and at most
+        one :class:`~repro.simcore.tracing.SpanSink`.  Probes observe
+        the kernel and network in attachment order through an
+        automatic :class:`~repro.simcore.probe.FanoutProbe` — callers
+        never compose fanout by hand.  Observers are observation-only
+        (no scheduled events, no random draws), so the simulation stays
+        byte-identical to an unobserved run.
+
+        ``with_monitors`` / ``with_profiling`` / ``with_span_sink`` are
+        thin delegates of this method; to attach more than one sink,
+        compose them with
+        :class:`~repro.obs.streaming.TelemetryPipeline` first.
+        """
+        for observer in observers:
+            if isinstance(observer, SpanSink):
+                if self._span_sink is not None and self._span_sink is not observer:
+                    raise ReproError(
+                        "a grid streams through one span sink; compose sinks "
+                        "with repro.obs.streaming.TelemetryPipeline"
+                    )
+                self._span_sink = observer
+            elif isinstance(observer, Probe):
+                if observer not in self._probes:
+                    self._probes.append(observer)
+            else:
+                raise ReproError(
+                    f"with_probe() takes Probe or SpanSink observers, "
+                    f"got {observer!r}"
+                )
+        return self
+
     def with_monitors(
         self, recorder: "Optional[Recorder]" = None
     ) -> "GridBuilder":
         """Attach a runtime-verification recorder to the built grid.
 
-        The recorder (a fresh one unless given) becomes the
-        environment's probe: every message send/delivery/drop and every
-        instrumented protocol event is logged under vector clocks, ready
-        for :func:`repro.verify.evaluate`.  Recording adds no scheduled
-        events and draws no random numbers, so the simulation is
-        byte-identical to an unmonitored run.
+        Delegates to :meth:`with_probe`.  The recorder (a fresh one
+        unless given) observes every message send/delivery/drop and
+        every instrumented protocol event under vector clocks, ready
+        for :func:`repro.verify.evaluate`.
         """
         if recorder is None:
             from repro.verify.recorder import Recorder
 
             recorder = Recorder()
-        self._recorder = recorder
-        return self
+        return self.with_probe(recorder)
 
     def with_profiling(
         self, counters: "Optional[OpCounters]" = None
     ) -> "GridBuilder":
         """Attach machine-independent op counters to the built grid.
 
-        The counters (fresh :class:`~repro.prof.counters.OpCounters`
-        unless given) observe the kernel and network through the probe
-        seam — events processed, heap high-water, message traffic —
-        without perturbing the run.  Composes with
-        :meth:`with_monitors`: both observers share the environment
-        through a :class:`~repro.simcore.probe.FanoutProbe`.
+        Delegates to :meth:`with_probe`.  The counters (fresh
+        :class:`~repro.prof.counters.OpCounters` unless given) observe
+        events processed, queue high-water, and message traffic without
+        perturbing the run.
         """
         if counters is None:
             from repro.prof.counters import OpCounters
 
             counters = OpCounters()
-        self._counters = counters
-        return self
+        return self.with_probe(counters)
 
     def with_span_sink(self, sink: SpanSink) -> "GridBuilder":
         """Stream the grid's telemetry through ``sink``.
 
-        The built tracer routes every completed span and mark through
-        the sink (sampling, bounded-memory aggregation, and incremental
-        JSONL export live in :mod:`repro.obs.streaming`) and meters
-        itself — ``obs.spans_*`` instruments plus the
-        ``on_spans_retained`` probe hook.  Sinks are observation-only,
-        so the simulation stays byte-identical to a retain-all run.
-        Call ``grid.tracer.close()`` after the run to flush the sink.
+        Delegates to :meth:`with_probe`.  The built tracer routes every
+        completed span and mark through the sink (sampling,
+        bounded-memory aggregation, and incremental JSONL export live
+        in :mod:`repro.obs.streaming`) and meters itself.  Call
+        ``grid.tracer.close()`` after the run to flush the sink.
         Ignored when ``trace=False``.
         """
-        self._span_sink = sink
-        return self
+        return self.with_probe(sink)
 
     def build(self) -> Grid:
         if not self._machines:
             raise ReproError("a grid needs at least one machine")
-        env = Environment()
-        probes = []
-        if self._recorder is not None:
-            probes.append(self._recorder)
-            self._recorder.bind(env)
-        if self._counters is not None:
-            probes.append(self._counters)
+        env = Environment(queue=self.queue)
+        probes = self._probes
+        recorder: "Optional[Recorder]" = None
+        counters: "Optional[OpCounters]" = None
+        if probes:
+            from repro.prof.counters import OpCounters
+            from repro.verify.recorder import Recorder
+
+            for probe in probes:
+                # Recorders need the environment for vector-clock time.
+                bind = getattr(probe, "bind", None)
+                if bind is not None:
+                    bind(env)
+                if recorder is None and isinstance(probe, Recorder):
+                    recorder = probe
+                if counters is None and isinstance(probe, OpCounters):
+                    counters = probe
         if len(probes) == 1:
             env.probe = probes[0]
         elif probes:
-            from repro.simcore.probe import FanoutProbe
-
             env.probe = FanoutProbe(probes)
         rngs = RngRegistry(self.seed)
         latency_model = LatencyModel(
@@ -301,7 +350,13 @@ class GridBuilder:
         tracer = (
             Tracer(env, sink=self._span_sink) if self.trace else NullTracer(env)
         )
-        network = Network(env, latency_model, metrics=tracer.metrics)
+        network = Network(
+            env,
+            latency_model,
+            metrics=tracer.metrics,
+            slotted=self.slotted_delivery,
+            slot_width=self.slot_width,
+        )
         network.add_host(self.client_host)
         ca = CertificateAuthority()
         credential = ca.issue(self.user)
@@ -340,8 +395,8 @@ class GridBuilder:
             rngs=rngs,
             tracer=tracer,
             client_host=self.client_host,
-            recorder=self._recorder,
-            counters=self._counters,
+            recorder=recorder,
+            counters=counters,
         )
         if self._faults:
             schedule_faults(env, grid, self._faults)

@@ -1,6 +1,6 @@
 """Compute resource model: machines, processes, fault injection."""
 
-from repro.machine.faults import FailureModel, crash_at, overload_during
+from repro.machine.faults import FailureModel
 from repro.machine.host import Machine, ProcessContext, ProcessRecord, Program
 
 __all__ = [
@@ -9,6 +9,4 @@ __all__ = [
     "ProcessContext",
     "ProcessRecord",
     "Program",
-    "crash_at",
-    "overload_during",
 ]

@@ -1,59 +1,20 @@
 """Machine-level fault models.
 
 :class:`FailureModel` (Bernoulli per-machine faults for scenario
-sweeps) lives here; the imperative helpers :func:`crash_at` and
-:func:`overload_during` are deprecated shims over the unified
-:mod:`repro.faults` facade, kept for one release.
+sweeps) lives here.  Imperative, time-targeted faults — crashes,
+overload windows, partitions — go through the unified declarative
+facade instead: :mod:`repro.faults` specs installed with
+:func:`repro.faults.schedule` or ``GridBuilder.with_faults``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
-from repro.faults import HostCrash, Overload, schedule
 from repro.machine.host import Machine
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def crash_at(
-    machine: Machine, at: float, duration: Optional[float] = None
-) -> None:
-    """Deprecated: schedule a crash of ``machine`` at time ``at``.
-
-    Use :class:`repro.faults.HostCrash` with
-    :func:`repro.faults.schedule` (or ``GridBuilder.with_faults``).
-    """
-    _deprecated("repro.machine.faults.crash_at", "repro.faults.HostCrash")
-    schedule(
-        machine.env, machine, [HostCrash(machine.name, at=at, duration=duration)]
-    )
-
-
-def overload_during(
-    machine: Machine, at: float, duration: float, factor: float
-) -> None:
-    """Deprecated: schedule a load spike on ``machine``.
-
-    Use :class:`repro.faults.Overload` with
-    :func:`repro.faults.schedule` (or ``GridBuilder.with_faults``).
-    """
-    _deprecated("repro.machine.faults.overload_during", "repro.faults.Overload")
-    schedule(
-        machine.env,
-        machine,
-        [Overload(machine.name, factor=factor, at=at, duration=duration)],
-    )
 
 
 @dataclass(frozen=True)

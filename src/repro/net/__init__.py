@@ -1,7 +1,6 @@
 """Simulated wide-area network: addressing, delivery, transport, RPC."""
 
 from repro.net.address import Endpoint
-from repro.net.faults import FaultPlan, random_loss
 from repro.net.message import Message
 from repro.net.network import DEFAULT_LATENCY, LatencyModel, Network
 from repro.net.rpc import RPCError, call, reply_error, reply_ok
@@ -10,7 +9,6 @@ from repro.net.transport import Port, ephemeral_endpoint
 __all__ = [
     "DEFAULT_LATENCY",
     "Endpoint",
-    "FaultPlan",
     "LatencyModel",
     "Message",
     "Network",
@@ -18,7 +16,6 @@ __all__ = [
     "RPCError",
     "call",
     "ephemeral_endpoint",
-    "random_loss",
     "reply_error",
     "reply_ok",
 ]

@@ -4,27 +4,119 @@ A host is identified by a string name; services on a host listen on
 named *ports*.  An :class:`Endpoint` is the (host, port) pair messages
 are addressed to — the simulated analogue of a Globus contact string
 like ``hostname:port``.
+
+Endpoints sit on the kernel's hottest dictionary keys: every
+``Network.send`` hashes the destination into the mailbox table (and,
+under slotted delivery, into the slot ring).  The class is therefore
+slotted and value-frozen with its hash computed once at construction;
+:meth:`Endpoint.intern` and the :meth:`Endpoint.parse` cache return
+canonical instances for long-lived, repeatedly parsed addresses (a
+service's well-known contact) so equal endpoints are usually also
+identical.  Ephemeral reply ports should *not* be interned — the
+canonical table is never evicted by design.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Any
 
 
-@dataclass(frozen=True, order=True)
 class Endpoint:
-    """A (host, port) address on the simulated network."""
+    """A (host, port) address on the simulated network.
 
-    host: str
-    port: str
+    Immutable and totally ordered by ``(host, port)``, with the hash
+    cached at construction — equality and ordering match the frozen
+    dataclass this class replaced.
+    """
+
+    __slots__ = ("host", "port", "_hash")
+
+    #: Canonical instances, keyed by ``(host, port)``.  Shared by
+    #: :meth:`intern` and :meth:`parse`; never evicted, so only
+    #: long-lived addresses belong here.
+    _interned: dict[tuple[str, str], "Endpoint"] = {}
+
+    def __init__(self, host: str, port: str) -> None:
+        object.__setattr__(self, "host", host)
+        object.__setattr__(self, "port", port)
+        object.__setattr__(self, "_hash", hash((host, port)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(f"Endpoint is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"Endpoint is immutable; cannot delete {name!r}")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, Endpoint):
+            return NotImplemented
+        return self.host == other.host and self.port == other.port
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: "Endpoint") -> bool:
+        if not isinstance(other, Endpoint):
+            return NotImplemented
+        return (self.host, self.port) < (other.host, other.port)
+
+    def __le__(self, other: "Endpoint") -> bool:
+        if not isinstance(other, Endpoint):
+            return NotImplemented
+        return (self.host, self.port) <= (other.host, other.port)
+
+    def __gt__(self, other: "Endpoint") -> bool:
+        if not isinstance(other, Endpoint):
+            return NotImplemented
+        return (self.host, self.port) > (other.host, other.port)
+
+    def __ge__(self, other: "Endpoint") -> bool:
+        if not isinstance(other, Endpoint):
+            return NotImplemented
+        return (self.host, self.port) >= (other.host, other.port)
+
+    def __repr__(self) -> str:
+        return f"Endpoint(host={self.host!r}, port={self.port!r})"
 
     def __str__(self) -> str:
         return f"{self.host}:{self.port}"
 
+    def __reduce__(self) -> tuple:
+        return (Endpoint, (self.host, self.port))
+
+    def intern(self) -> "Endpoint":
+        """The canonical instance equal to this endpoint.
+
+        Registers this instance if the address is new.  Interned
+        endpoints make dict probes on the delivery path cheap (pointer
+        equality short-circuits ``__eq__``), at the cost of living for
+        the process lifetime — intern well-known service addresses,
+        never per-request reply ports.
+        """
+        key = (self.host, self.port)
+        canonical = Endpoint._interned.get(key)
+        if canonical is None:
+            Endpoint._interned[key] = self
+            canonical = self
+        return canonical
+
     @classmethod
     def parse(cls, text: str) -> "Endpoint":
-        """Parse ``"host:port"`` into an Endpoint."""
+        """Parse ``"host:port"`` into the canonical (interned) Endpoint.
+
+        Contact strings are parsed over and over (every RSL request
+        names its target), so the result is interned: parsing the same
+        text twice returns the same instance.
+        """
         host, sep, port = text.partition(":")
         if not sep or not host or not port:
             raise ValueError(f"invalid endpoint {text!r}; expected 'host:port'")
-        return cls(host, port)
+        return cls(host, port).intern()

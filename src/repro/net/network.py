@@ -13,6 +13,7 @@ uniform latency here.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 import numpy as np
@@ -91,20 +92,52 @@ class LatencyModel:
 
 
 class Network:
-    """Hosts, mailboxes, and message delivery."""
+    """Hosts, mailboxes, and message delivery.
+
+    Delivery comes in two shapes:
+
+    * **per-message** (default) — every ``send()`` schedules its own
+      kernel event, exactly one event per in-flight message.
+    * **slotted** (``slotted=True``) — in-flight messages are grouped
+      into a delivery ring keyed by (destination endpoint, deadline):
+      the first message bound for a slot schedules one kernel event,
+      later sends with the same deadline ride along for free.  At
+      bursty fan-in (many same-instant sends to one service under a
+      deterministic latency model) this collapses N kernel events into
+      one, which is where million-event runs spend their heap budget.
+      Per-message semantics — drop rules at send time, reachability at
+      delivery time, FIFO per (src, dst) — are unchanged, but events
+      that *interleave* with deliveries at the same instant may observe
+      a different ordering than per-message mode, so slotting is opt-in
+      and benchmarks pin which mode they measure.
+
+    ``slot_width`` (seconds, slotted mode only) additionally quantizes
+    deadlines up to the next multiple of the width, trading delivery-
+    time granularity for more coalescing under jittered latency.  The
+    default (None) coalesces exact-equal deadlines only and never
+    changes delivery times.
+    """
 
     def __init__(
         self,
         env: "Environment",
         latency_model: Optional[LatencyModel] = None,
         metrics: Optional[MetricsRegistry] = None,
+        slotted: bool = False,
+        slot_width: Optional[float] = None,
     ) -> None:
+        if slot_width is not None and slot_width <= 0:
+            raise SimulationError(f"slot_width must be positive, got {slot_width!r}")
         self.env = env
         self.latency_model = latency_model or LatencyModel()
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.slotted = bool(slotted)
+        self.slot_width = slot_width
         self._hosts: set[str] = set()
         self._down: set[str] = set()
         self._mailboxes: dict[Endpoint, Store] = {}
+        #: Open delivery slots: (dst, deadline) -> messages in send order.
+        self._slots: dict[tuple[Endpoint, float], list[Message]] = {}
         #: Partition groups: messages cross groups only if allowed.
         self._partitions: dict[str, int] = {}
         #: Drop rules: callables deciding whether to drop a message.
@@ -113,6 +146,10 @@ class Network:
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
+        #: Slotted mode: kernel events scheduled for delivery.  The gap
+        #: between this and ``sent_count`` minus send-time drops is the
+        #: coalescing win.
+        self.delivery_slots = 0
 
     # -- topology ------------------------------------------------------------
 
@@ -228,11 +265,40 @@ class Network:
         delay = self.latency_model.latency(
             message.src.host, message.dst.host, message.size_bytes
         )
-        deliver = self.env.timeout(delay, value=message)
-        deliver.callbacks.append(self._deliver)
+        if not self.slotted:
+            deliver = self.env.timeout(delay, value=message)
+            deliver.callbacks.append(self._deliver)
+            return
+
+        now = self.env.now
+        deadline = now + delay
+        width = self.slot_width
+        if width is not None:
+            # Quantize *up* so a message is never delivered before its
+            # modeled latency has elapsed.
+            deadline = math.ceil(deadline / width) * width
+        key = (message.dst, deadline)
+        slot = self._slots.get(key)
+        if slot is not None:
+            slot.append(message)
+            return
+        self._slots[key] = [message]
+        self.delivery_slots += 1
+        fire = self.env.timeout(deadline - now, value=key)
+        fire.callbacks.append(self._deliver_slot)
 
     def _deliver(self, event) -> None:
-        message: Message = event.value
+        """Per-message delivery: the event's value is the message."""
+        self._deliver_message(event.value)
+
+    def _deliver_slot(self, event) -> None:
+        """Slotted delivery: drain one (dst, deadline) slot in send order."""
+        messages = self._slots.pop(event.value)
+        deliver_message = self._deliver_message
+        for message in messages:
+            deliver_message(message)
+
+    def _deliver_message(self, message: Message) -> None:
         probe = self.env.probe
         # Reachability is evaluated at delivery time so that a partition
         # or crash occurring mid-flight loses the message.

@@ -22,6 +22,7 @@ are machine-dependent by design and never checked against baselines.
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional, Sequence
@@ -31,6 +32,7 @@ from repro.gram.states import JobState
 from repro.gridenv import DEFAULT_EXECUTABLE, Grid, GridBuilder
 from repro.prof.diff import ProfileDiff, diff_profiles
 from repro.prof.profile import Profile, profile_grid, profile_spans
+from repro.simcore.probe import Probe
 
 #: Default root seed for the suite (matches the chaos harness).
 DEFAULT_SEED = 42
@@ -50,6 +52,9 @@ SNAPSHOT_COUNTERS = (
     "resilience.retries",
     "obs.spans_recorded",
     "obs.spans_retained_high_water",
+    "net.delivery_slots",
+    "queue.calendar.high_water",
+    "ref.sim.heap_high_water",
 )
 
 
@@ -179,6 +184,7 @@ def _kernel_stress_run(
     sink=None,
     trace_spans: bool = False,
     probes: Sequence = (),
+    queue=None,
 ):
     """Run the raw-kernel stress workload; returns ``(tracer, counters)``.
 
@@ -202,7 +208,10 @@ def _kernel_stress_run(
     round (~1.3 × 10⁴ spans) — the workload behind ``telemetry_stress``
     and the streaming-sink gate.  ``sink`` is handed to the tracer
     (see :class:`~repro.simcore.tracing.SpanSink`); extra ``probes``
-    are fanned out with the op counters.
+    are fanned out with the op counters.  ``queue`` selects the kernel
+    event-queue implementation (see
+    :class:`~repro.simcore.equeue.EventQueue`) so tests can replay the
+    workload under every queue and compare traces.
     """
     from repro.net.address import Endpoint
     from repro.net.message import Message
@@ -212,7 +221,7 @@ def _kernel_stress_run(
     from repro.simcore.probe import FanoutProbe
     from repro.simcore.tracing import Tracer
 
-    env = Environment(compact_cancelled=compact_cancelled)
+    env = Environment(compact_cancelled=compact_cancelled, queue=queue)
     counters = OpCounters()
     if probes:
         env.probe = FanoutProbe([counters, *probes])
@@ -329,6 +338,220 @@ def _run_telemetry_stress(seed: int) -> Profile:
     )
 
 
+#: kernel_scale workload shape (~2 × 10⁵ events in each configuration):
+#: synchronized client bursts at one ingest service over a slow WAN
+#: link — with latency five wave periods deep, the reference kernel
+#: holds ``5 × clients`` per-message delivery events in flight while
+#: slotted delivery holds five slots — plus timer churn with
+#: far-future watchdogs (compaction under both queues) and
+#: far-beyond-horizon sentinels (calendar wheel rollover).
+_SCALE_CLIENTS = 400
+_SCALE_WAVES = 200
+_SCALE_PERIOD = 1.0
+_SCALE_LATENCY = 5.0
+_SCALE_CHURN_WORKERS = 100
+_SCALE_CHURN_ROUNDS = 100
+_SCALE_WATCHDOG = 50_000.0
+_SCALE_SENTINEL_BASE = 1_000_000.0
+
+
+class _TraceSignature(Probe):
+    """Order-sensitive digest of the simulation-visible event trace.
+
+    Hashes every processed-event timestamp and every network
+    send/deliver/drop in order, so two runs have equal digests exactly
+    when their kernels dispatched the same events at the same times and
+    the network moved the same messages in the same order — the
+    byte-identity the pluggable-queue contract promises, checked in
+    O(1) memory at 10⁵-event scale.
+    """
+
+    def __init__(self) -> None:
+        import hashlib
+
+        self._digest = hashlib.sha256()
+
+    def on_step(self, now: float) -> None:
+        self._digest.update(struct.pack("<d", now))
+
+    def on_send(self, message) -> None:
+        self._digest.update(
+            f"s|{message.src}|{message.dst}|{message.kind}|{message.payload!r}".encode()
+        )
+
+    def on_deliver(self, message) -> None:
+        self._digest.update(
+            f"d|{message.src}|{message.dst}|{message.kind}|{message.payload!r}".encode()
+        )
+
+    def on_drop(self, message, reason: str) -> None:
+        self._digest.update(f"x|{reason}|{message.src}|{message.dst}".encode())
+
+    def hexdigest(self) -> str:
+        return self._digest.hexdigest()
+
+
+def _kernel_scale_run(seed: int, queue=None, slotted: bool = False, probes: Sequence = ()):
+    """Run one kernel_scale configuration; returns (env, network, counters, phase_end).
+
+    Three concurrent phases, all deterministic (no RNG; ``seed`` only
+    stamps metadata):
+
+    * **burst storm** — ``_SCALE_CLIENTS`` clients fire a report at one
+      ingest service at exactly the same instant every
+      ``_SCALE_PERIOD`` seconds, for ``_SCALE_WAVES`` waves, across a
+      WAN link ``_SCALE_LATENCY / _SCALE_PERIOD`` wave periods deep.
+      The same-deadline fan-in is where slotted delivery collapses N
+      in-flight delivery events into one slot per wave, and the
+      same-instant ingest resumptions are where same-timestamp runs
+      dominate dispatch.
+    * **timer churn** — workers repeatedly arm a far-future watchdog
+      and retire it after a short round, flooding the queue with
+      cancelled entries that compaction must reclaim.
+    * **sentinels** — a handful of events scheduled ~10⁴ bucket-years
+      past the workload horizon; most are retired, the last two fire
+      into a near-empty queue, forcing the calendar queue through its
+      sparse-rollover direct search.
+    """
+    from repro.net.address import Endpoint
+    from repro.net.message import Message
+    from repro.net.network import LatencyModel, Network
+    from repro.prof.counters import OpCounters
+    from repro.simcore.environment import Environment
+    from repro.simcore.probe import FanoutProbe
+
+    env = Environment(queue=queue)
+    counters = OpCounters()
+    if probes:
+        env.probe = FanoutProbe([counters, *probes])
+    else:
+        env.probe = counters
+    network = Network(
+        env, LatencyModel(base=_SCALE_LATENCY), slotted=slotted
+    )
+    network.add_host("edge")
+    network.add_host("core")
+    ingest_endpoint = Endpoint("core", "ingest").intern()
+    ingest_box = network.bind(ingest_endpoint)
+    phase_end = {"storm": 0.0, "churn": 0.0, "sentinel": 0.0}
+
+    def ingest_server(env):
+        while True:
+            yield ingest_box.get()
+            phase_end["storm"] = env.now
+
+    def burst_client(env, endpoint, idx):
+        for wave in range(_SCALE_WAVES):
+            # Every client fires at exactly wave * period: maximal
+            # same-deadline coalescing into one delivery slot.
+            yield env.timeout(wave * _SCALE_PERIOD - env.now)
+            network.send(Message(
+                src=endpoint, dst=ingest_endpoint,
+                kind="report", payload=(idx, wave),
+            ))
+
+    def churn_worker(env, worker):
+        for _ in range(_SCALE_CHURN_ROUNDS):
+            watchdog = env.timeout(_SCALE_WATCHDOG)
+            yield env.timeout(0.25 + 0.001 * (worker % 16))
+            # The round finished in time: retire the watchdog.
+            watchdog.cancelled = True
+        phase_end["churn"] = max(phase_end["churn"], env.now)
+
+    def sentinel(env):
+        pending = [
+            env.timeout(_SCALE_SENTINEL_BASE + 1_000.0 * i) for i in range(6)
+        ]
+        yield env.timeout(1.0)
+        for retired in pending[:4]:
+            retired.cancelled = True
+        yield pending[4]
+        yield pending[5]
+        phase_end["sentinel"] = env.now
+
+    env.process(ingest_server(env), name="ingest")
+    for idx in range(_SCALE_CLIENTS):
+        endpoint = Endpoint("edge", f"client-{idx}")
+        env.process(burst_client(env, endpoint, idx), name=f"client-{idx}")
+    for worker in range(_SCALE_CHURN_WORKERS):
+        env.process(churn_worker(env, worker), name=f"churn-{worker}")
+    env.process(sentinel(env), name="sentinel")
+
+    env.run()
+    return env, network, counters, phase_end
+
+
+def _run_kernel_scale(seed: int) -> Profile:
+    """ROADMAP item 1 at ~2·10⁵ events: the pluggable-queue proof gate.
+
+    Runs the workload three times —
+
+    1. **reference**: compacting heap, per-message delivery (the
+       pre-seam kernel, reported under ``ref.sim.*``);
+    2. **heap + slotted delivery**;
+    3. **calendar + slotted delivery** (the headline configuration,
+       reported under plain ``sim.*``);
+
+    asserts the trace digests of (2) and (3) are identical (the
+    pop-order-equivalence contract, end to end, under batched dispatch
+    and slot coalescing), and asserts the headline configuration beats
+    the reference on scheduled events and queue high-water before
+    pinning both sides in the baseline (``queue.heap.*`` /
+    ``queue.calendar.*`` / ``net.delivery_slots``).
+    """
+    from repro.simcore.tracing import Tracer
+
+    ref_env, ref_net, ref_counters, _ = _kernel_scale_run(seed)
+    heap_sig = _TraceSignature()
+    heap_env, heap_net, _heap_counters, _ = _kernel_scale_run(
+        seed, queue="heap", slotted=True, probes=(heap_sig,)
+    )
+    cal_sig = _TraceSignature()
+    cal_env, cal_net, cal_counters, phase_end = _kernel_scale_run(
+        seed, queue="calendar", slotted=True, probes=(cal_sig,)
+    )
+    if heap_sig.hexdigest() != cal_sig.hexdigest():
+        raise ReproError(
+            "kernel_scale: event traces diverged between HeapQueue and "
+            "CalendarQueue under identical workloads — the pluggable-queue "
+            "pop-order contract is broken"
+        )
+
+    ref = ref_counters.snapshot()
+    counters = cal_counters.snapshot()
+    if counters["sim.heap_high_water"] >= ref["sim.heap_high_water"]:
+        raise ReproError(
+            "kernel_scale: calendar + slotted delivery did not reduce the "
+            f"queue high-water mark ({counters['sim.heap_high_water']:g} vs "
+            f"reference {ref['sim.heap_high_water']:g})"
+        )
+    if counters["sim.events_scheduled"] >= ref["sim.events_scheduled"]:
+        raise ReproError(
+            "kernel_scale: slotted delivery did not reduce scheduled events "
+            f"({counters['sim.events_scheduled']:g} vs reference "
+            f"{ref['sim.events_scheduled']:g})"
+        )
+    for key, value in sorted(ref.items()):
+        counters[f"ref.{key}"] = value
+    for key, value in sorted(heap_env.queue.stats().items()):
+        counters[f"queue.heap.{key}"] = value
+    for key, value in sorted(cal_env.queue.stats().items()):
+        counters[f"queue.calendar.{key}"] = value
+    counters["net.delivery_slots"] = float(cal_net.delivery_slots)
+    counters["ref.net.delivery_slots"] = float(ref_net.delivery_slots)
+
+    tracer = Tracer(cal_env)
+    root = tracer.record("kernel_scale", 0.0, cal_env.now)
+    tracer.record("burst_storm", 0.0, phase_end["storm"], parent=root)
+    tracer.record("timer_churn", 0.0, phase_end["churn"], parent=root)
+    tracer.record("sentinel_rollover", 0.0, phase_end["sentinel"], parent=root)
+    return profile_spans(
+        tracer.spans,
+        counters=counters,
+        meta=_meta("kernel_scale", seed),
+    )
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -363,6 +586,12 @@ SCENARIOS: dict[str, Scenario] = {
             "kernel stress with a span per operation through the "
             "streaming telemetry pipeline (~1.3e4 spans)",
             _run_telemetry_stress,
+        ),
+        Scenario(
+            "kernel_scale",
+            "burst storm + timer churn at ~2e5 events under every queue "
+            "implementation: trace-identity and high-water proof gate",
+            _run_kernel_scale,
         ),
     )
 }

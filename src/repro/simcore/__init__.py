@@ -10,10 +10,24 @@ A minimal, deterministic, generator-driven simulator in the SimPy style:
 >>> proc = env.process(hello(env))
 >>> env.run(proc)
 3.0
+
+``__all__`` below is the kernel's stable public surface: the
+environment and event types, the pluggable :class:`EventQueue`
+protocol with both shipped implementations (pick one with
+``Environment(queue=...)``), the observer seam (:class:`Probe` /
+:class:`FanoutProbe`), tracing, resources, and seeded RNG streams.
 """
 
 from repro.simcore.environment import Environment, FOREVER
+from repro.simcore.equeue import (
+    QUEUE_IMPLS,
+    CalendarQueue,
+    EventQueue,
+    HeapQueue,
+    make_queue,
+)
 from repro.simcore.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.simcore.probe import FanoutProbe, Probe
 from repro.simcore.process import Interrupt, Process
 from repro.simcore.resources import Container, Resource, Store
 from repro.simcore.rng import RngRegistry, jittered
@@ -31,18 +45,24 @@ from repro.simcore.tracing import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
     "Condition",
     "ConditionValue",
     "Container",
     "Environment",
     "Event",
+    "EventQueue",
     "FOREVER",
+    "FanoutProbe",
+    "HeapQueue",
     "Interrupt",
     "Mark",
     "NULL_TRACER",
     "NullTracer",
     "OBS_CONTEXT_PARAM",
+    "Probe",
     "Process",
+    "QUEUE_IMPLS",
     "Resource",
     "RngRegistry",
     "Span",
@@ -52,4 +72,5 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "jittered",
+    "make_queue",
 ]

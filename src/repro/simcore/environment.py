@@ -1,19 +1,21 @@
 """The discrete-event execution environment.
 
-:class:`Environment` owns simulated time and the pending-event heap.
-``run()`` pops events in (time, priority, sequence) order and invokes
-their callbacks; processes resume as callbacks of the events they wait
-on.  Time only advances between events — callbacks execute atomically
-at one instant, which gives the deterministic interleaving the
-co-allocation protocol tests rely on.
+:class:`Environment` owns simulated time; pending events live in a
+pluggable :class:`~repro.simcore.equeue.EventQueue` (the compacting
+binary heap by default, a calendar queue for million-event runs — see
+DESIGN.md §7).  ``run()`` pops events in (time, priority, sequence)
+order and invokes their callbacks; processes resume as callbacks of the
+events they wait on.  Time only advances between events — callbacks
+execute atomically at one instant, which gives the deterministic
+interleaving the co-allocation protocol tests rely on.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import TYPE_CHECKING, Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Union
 
 from repro.errors import SimulationError
+from repro.simcore.equeue import Entry, EventQueue, make_queue
 from repro.simcore.events import (
     AllOf,
     AnyOf,
@@ -31,7 +33,7 @@ FOREVER = float("inf")
 
 
 class EmptySchedule(SimulationError):
-    """Internal signal: the event heap is exhausted."""
+    """Internal signal: the event queue is exhausted."""
 
 
 class _StopSimulation(BaseException):
@@ -50,28 +52,39 @@ class Environment:
     initial_time:
         Starting value of :attr:`now` (seconds).
     compact_cancelled:
-        Periodically drop cancelled events from the heap instead of
+        Periodically drop cancelled events from the queue instead of
         carrying them until their scheduled time.  Pop order is
         unaffected — entries are totally ordered by their unique
-        (time, priority, sequence) key, so re-heapifying the surviving
-        multiset reproduces the exact same pop sequence — but the heap
+        (time, priority, sequence) key, so the surviving multiset
+        reproduces the exact same pop sequence — but the queue
         high-water mark shrinks by orders of magnitude under timer
         churn (schedule a watchdog, cancel it, repeat).  The knob
         exists so benchmarks can measure the pre-compaction kernel.
+    queue:
+        Pending-event storage: ``None`` or ``"heap"`` for the reference
+        compacting binary heap, ``"calendar"`` for the calendar queue,
+        or any :class:`~repro.simcore.equeue.EventQueue` instance.  All
+        implementations pop in the same total order, so this is a
+        performance choice, never a semantic one.  Queues that declare
+        ``batched`` are dispatched one same-(time, priority) run per
+        queue interaction instead of one event per pop.
     """
 
-    #: Queue length below which compaction is never attempted.
-    _COMPACT_MIN = 128
-
     def __init__(
-        self, initial_time: float = 0.0, compact_cancelled: bool = True
+        self,
+        initial_time: float = 0.0,
+        compact_cancelled: bool = True,
+        queue: Union[str, EventQueue, None] = None,
     ) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._equeue = make_queue(queue, auto_compact=compact_cancelled)
+        self._batched = self._equeue.batched
+        #: Same-(time, priority) run currently being dispatched (batched
+        #: queues only) and the index of its next unserved entry.
+        self._batch: list[Entry] = []
+        self._batch_idx = 0
         self._eid = 0
         self._active_process: Optional[Process] = None
-        self._compact_cancelled = bool(compact_cancelled)
-        self._compact_floor = self._COMPACT_MIN
         #: Runtime-verification probe (see :mod:`repro.simcore.probe`);
         #: None means every instrumentation hook is a no-op.
         self.probe: "Optional[Probe]" = None
@@ -88,17 +101,56 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def queue(self) -> EventQueue:
+        """The pending-event queue implementation in use."""
+        return self._equeue
+
     def peek(self) -> float:
         """Time of the next scheduled live event (``inf`` if none)."""
-        queue = self._queue
-        while queue and queue[0][3].cancelled:
-            heapq.heappop(queue)
-        return queue[0][0] if queue else FOREVER
+        batch = self._batch
+        idx = self._batch_idx
+        nbatch = len(batch)
+        while idx < nbatch and batch[idx][3].cancelled:
+            idx += 1
+        self._batch_idx = idx
+        key = self._equeue.peek_key()
+        if idx < nbatch:
+            when = batch[idx][0]
+            if key is not None and key[0] < when:
+                return key[0]
+            return when
+        if key is not None:
+            return key[0]
+        return FOREVER
 
     @property
     def queue_size(self) -> int:
-        """Number of scheduled-but-unprocessed events."""
-        return len(self._queue)
+        """Raw scheduled entries still resident, **including** cancelled
+        events that have not been discarded yet.  This is the number
+        that occupies memory — the heap high-water CI gate counts it —
+        not the number of events that will still fire; see
+        :attr:`live_size` for the latter."""
+        return len(self._equeue) + len(self._batch) - self._batch_idx
+
+    @property
+    def live_size(self) -> int:
+        """Scheduled-but-not-cancelled events (O(queue) scan).
+
+        The observability gauge: cancelled timers awaiting discard are
+        excluded.  Computed by scanning the resident entries, so read
+        it at sampling granularity, not per event.
+        """
+        batch = self._batch
+        count = self._equeue.live_size
+        for index in range(self._batch_idx, len(batch)):
+            if not batch[index][3].cancelled:
+                count += 1
+        return count
+
+    def compact(self) -> None:
+        """Physically drop cancelled entries from the queue now."""
+        self._equeue.compact()
 
     # -- scheduling ---------------------------------------------------------
 
@@ -107,27 +159,49 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
-        if self._compact_cancelled and len(self._queue) > self._compact_floor:
-            self._compact()
+        when = self._now + delay
+        equeue = self._equeue
+        equeue.push(when, priority, self._eid, event)
         if self.probe is not None:
-            self.probe.on_schedule(self._now + delay, len(self._queue))
+            self.probe.on_schedule(
+                when, len(equeue) + len(self._batch) - self._batch_idx
+            )
 
-    def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (amortized O(1)/event).
+    def _next_batched(self) -> Entry:
+        """Next live entry under batched dispatch.
 
-        Every entry carries a unique (time, priority, sequence) key, so
-        the heap order is total and heapifying the surviving entries
-        yields the identical pop sequence the lazy-deletion heap would
-        have produced — byte-identical traces, smaller high-water mark.
-        The floor doubles with the live population, so a mostly-live
-        queue is never rescanned per schedule.
+        Serves the current run in sequence order, refilling it one
+        :meth:`~repro.simcore.equeue.EventQueue.pop_run` at a time.  An
+        entry scheduled *during* the run that sorts before the run's
+        remainder (an URGENT resume at the same instant) preempts it —
+        checked against the queue's minimum per served entry — so the
+        dispatch order is exactly the heap's.
         """
-        live = [entry for entry in self._queue if not entry[3].cancelled]
-        if len(live) < len(self._queue):
-            heapq.heapify(live)
-            self._queue = live
-        self._compact_floor = max(self._COMPACT_MIN, 2 * len(live))
+        equeue = self._equeue
+        peek_key = equeue.peek_key
+        batch = self._batch
+        idx = self._batch_idx
+        while True:
+            nbatch = len(batch)
+            while idx < nbatch:
+                candidate = batch[idx]
+                if candidate[3].cancelled:
+                    idx += 1
+                    continue
+                key = peek_key()
+                if key is not None and key < (candidate[0], candidate[1], candidate[2]):
+                    preempt = equeue.pop()
+                    if preempt is not None:
+                        self._batch_idx = idx
+                        return preempt
+                self._batch_idx = idx + 1
+                return candidate
+            batch = equeue.pop_run()
+            idx = 0
+            self._batch = batch
+            if not batch:
+                self._batch_idx = 0
+                raise EmptySchedule("event queue is empty")
 
     def step(self) -> None:
         """Process the single next event, advancing the clock to it.
@@ -135,18 +209,17 @@ class Environment:
         Cancelled events are discarded without advancing the clock, so
         retired timers never prolong a simulation.
         """
-        # Hoisted lookups and a pre-checked emptiness test: this loop
-        # runs once per simulated event, so it must not pay per-pop
-        # exception setup or re-resolve self._queue.  (schedule() is
-        # never called mid-pop, so the local alias cannot go stale even
-        # though _compact() rebinds self._queue.)
-        queue = self._queue
-        while True:
-            if not queue:
+        if self._batched:
+            entry = self._next_batched()
+        else:
+            # Unbatched queues keep the exact one-pop cadence of the
+            # pre-seam kernel: pop discards cancelled entries itself,
+            # so this path pays one call per dispatched event.
+            entry = self._equeue.pop()
+            if entry is None:
                 raise EmptySchedule("event queue is empty")
-            when, _, _, event = heapq.heappop(queue)
-            if not event.cancelled:
-                break
+        when = entry[0]
+        event = entry[3]
         self._now = when
         if self.probe is not None:
             self.probe.on_step(when)
@@ -240,4 +313,4 @@ class Environment:
         return AnyOf(self, events)
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now!r} queued={len(self._queue)}>"
+        return f"<Environment now={self._now!r} queued={self.queue_size}>"

@@ -1,0 +1,643 @@
+"""Pluggable pending-event queues for the discrete-event kernel.
+
+:class:`~repro.simcore.environment.Environment` owns simulated time and
+delegates *storage* of scheduled events to an :class:`EventQueue`.  Every
+entry is keyed by the unique triple ``(time, priority, sequence)`` the
+kernel assigns at scheduling, so the order of live entries is **total**:
+any structure that pops entries in ascending key order reproduces the
+exact same event sequence — and therefore byte-identical traces — as any
+other.  That equivalence is what makes the queue pluggable: the choice
+of implementation is a performance decision, never a semantic one (see
+DESIGN.md §7 for the proof sketch and selection guidance).
+
+Two implementations ship:
+
+* :class:`HeapQueue` — the reference compacting binary heap (the
+  pre-seam kernel, extracted verbatim).  O(log n) per operation,
+  unbeatable constant factors at the tens-of-jobs scale of the paper's
+  figures, and the default everywhere.
+* :class:`CalendarQueue` — a Brown-style calendar queue (bucketed
+  timing wheel) with amortized O(1) enqueue/dequeue and *batched* runs:
+  :meth:`~CalendarQueue.pop_run` drains every live entry sharing the
+  minimal ``(time, priority)`` out of one bucket in a single queue
+  interaction, which is what the 10⁵–10⁶-event workloads of the ROADMAP
+  north star are dominated by (same-instant process resumptions and
+  coalesced message deliveries).
+
+Both queues discard cancelled entries lazily on the way to the minimum
+and compact them in bulk under timer churn (amortized via a doubling
+floor), so retired watchdogs never dominate the resident population.
+
+Terminology used throughout:
+
+* **raw size** (``len(queue)``) — entries resident in the structure,
+  including cancelled ones not yet discarded.  The per-implementation
+  ``high_water`` gauge and the CI heap-depth gates count these, because
+  raw entries are what occupy memory.
+* **live size** (:attr:`EventQueue.live_size`) — scheduled-but-not-
+  cancelled entries only; what ``Environment.live_size`` reports to
+  observability.  Computed by scan (O(raw)), so read it at gauge
+  granularity, not per event.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simcore.events import Event
+
+#: A scheduled entry: ``(time, priority, sequence, event)``.  The first
+#: three fields form the unique, totally ordering key; comparisons never
+#: reach the (incomparable) event object.
+Entry = tuple[float, int, int, "Event"]
+
+#: A bare entry key: ``(time, priority, sequence)``.
+EntryKey = tuple[float, int, int]
+
+
+class EventQueue:
+    """The kernel's pending-event storage protocol.
+
+    Implementations keep scheduled entries and serve them back in
+    ascending ``(time, priority, sequence)`` order, silently discarding
+    entries whose event has been cancelled.  They must be deterministic
+    (no wall clock, no RNG), and they never call back into the kernel:
+    the :class:`~repro.simcore.environment.Environment` drives them.
+
+    ``batched`` declares whether :meth:`pop_run` is worth calling: the
+    environment dispatches unbatched queues one :meth:`pop` at a time
+    (zero overhead over the pre-seam kernel) and batched queues one
+    same-``(time, priority)`` run per queue interaction.
+    """
+
+    __slots__ = ()
+
+    #: Short implementation tag used in per-queue gauge names.
+    name = "abstract"
+
+    #: Whether the environment should dispatch via :meth:`pop_run`.
+    batched = False
+
+    def push(self, when: float, priority: int, seq: int, event: "Event") -> None:
+        """Store one entry.  Keys arrive in nondecreasing ``when`` order
+        relative to the last popped entry (the kernel never schedules
+        into the past), but implementations should tolerate arbitrary
+        keys for standalone use."""
+        raise NotImplementedError
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the minimal live entry (None when empty).
+
+        Cancelled entries encountered on the way are discarded and
+        counted, never returned.
+        """
+        raise NotImplementedError
+
+    def pop_run(self) -> list[Entry]:
+        """Remove the maximal run of live entries sharing the minimal
+        ``(time, priority)``, in ascending sequence order (``[]`` when
+        empty).  The default forwards to :meth:`pop` one entry at a
+        time; batched implementations drain the run in one interaction.
+        """
+        entry = self.pop()
+        if entry is None:
+            return []
+        return [entry]
+
+    def peek_key(self) -> Optional[EntryKey]:
+        """The key of the minimal live entry without removing it (None
+        when empty).  Discarding cancelled entries on the way is
+        allowed and does not count as mutation."""
+        raise NotImplementedError
+
+    def compact(self) -> None:
+        """Physically drop cancelled entries.  Pop order is unaffected:
+        the surviving multiset carries the same total order."""
+        raise NotImplementedError
+
+    @property
+    def live_size(self) -> int:
+        """Entries whose event is not cancelled (O(raw) scan)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        """Raw resident entries, including cancelled ones."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, float]:
+        """Deterministic per-implementation gauges.
+
+        Common keys: ``pushes``, ``pops``, ``discards`` (cancelled
+        entries dropped), ``compactions``, ``high_water`` (peak raw
+        size), ``size`` and ``live_size`` (current).  Batched
+        implementations add ``runs``/``run_events``; the calendar queue
+        adds ``buckets``, ``width``, ``resizes``, ``direct_searches``.
+        """
+        raise NotImplementedError
+
+
+class HeapQueue(EventQueue):
+    """The reference implementation: a compacting binary heap.
+
+    Exactly the pre-seam kernel: ``heapq`` push/pop over entry tuples,
+    lazy deletion of cancelled entries at the top, and amortized bulk
+    compaction behind a doubling floor (see :meth:`compact`).  Unit
+    ``pop_run``\\ s — the environment dispatches it one pop at a time,
+    so a default-configured simulation is byte-identical to the
+    pre-seam kernel, probe callbacks included.
+    """
+
+    __slots__ = (
+        "_heap", "_auto_compact", "_compact_floor",
+        "_pushes", "_pops", "_discards", "_compactions", "_high_water",
+    )
+
+    name = "heap"
+    batched = False
+
+    #: Queue length below which compaction is never attempted.
+    _COMPACT_MIN = 128
+
+    def __init__(self, auto_compact: bool = True) -> None:
+        self._heap: list[Entry] = []
+        self._auto_compact = bool(auto_compact)
+        self._compact_floor = self._COMPACT_MIN
+        self._pushes = 0
+        self._pops = 0
+        self._discards = 0
+        self._compactions = 0
+        self._high_water = 0
+
+    def push(self, when: float, priority: int, seq: int, event: "Event") -> None:
+        heap = self._heap
+        heappush(heap, (when, priority, seq, event))
+        self._pushes += 1
+        if self._auto_compact and len(heap) > self._compact_floor:
+            self.compact()
+            heap = self._heap
+        if len(heap) > self._high_water:
+            self._high_water = len(heap)
+
+    def pop(self) -> Optional[Entry]:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            if entry[3].cancelled:
+                self._discards += 1
+                continue
+            self._pops += 1
+            return entry
+        return None
+
+    def peek_key(self) -> Optional[EntryKey]:
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[3].cancelled:
+                heappop(heap)
+                self._discards += 1
+                continue
+            return (head[0], head[1], head[2])
+        return None
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify (amortized O(1)/event).
+
+        Every entry carries a unique (time, priority, sequence) key, so
+        the heap order is total and heapifying the surviving entries
+        yields the identical pop sequence the lazy-deletion heap would
+        have produced — byte-identical traces, smaller high-water mark.
+        The floor doubles with the live population, so a mostly-live
+        queue is never rescanned per push.
+        """
+        heap = self._heap
+        live = [entry for entry in heap if not entry[3].cancelled]
+        if len(live) < len(heap):
+            self._discards += len(heap) - len(live)
+            self._compactions += 1
+            heapify(live)
+            self._heap = live
+        self._compact_floor = max(self._COMPACT_MIN, 2 * len(live))
+
+    @property
+    def live_size(self) -> int:
+        count = 0
+        for entry in self._heap:
+            if not entry[3].cancelled:
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "pushes": float(self._pushes),
+            "pops": float(self._pops),
+            "discards": float(self._discards),
+            "compactions": float(self._compactions),
+            "high_water": float(self._high_water),
+            "size": float(len(self._heap)),
+            "live_size": float(self.live_size),
+        }
+
+    def __repr__(self) -> str:
+        return f"<HeapQueue size={len(self._heap)} high_water={self._high_water}>"
+
+
+class CalendarQueue(EventQueue):
+    """A Brown-style calendar queue (bucketed timing wheel).
+
+    Entries hash into ``nbuckets`` buckets by virtual bucket number
+    ``time / width`` (floored, then boundary-clamped so a time is never
+    assigned at-or-above its bucket's window top — times must be
+    nonnegative, which scheduled kernel events always are); each bucket
+    keeps its entries sorted so its minimum sits at the *end* of the
+    list (entries are stored under the negated key, ascending, which
+    makes the min an O(1) ``list.pop()`` instead of a shift-everything
+    ``pop(0)``).  A dequeue scans from the current bucket, taking the
+    head entry if it falls inside the bucket's current year; after a
+    fruitless full revolution it falls back to a direct search over all
+    bucket heads and re-anchors there, which keeps sparse far-future
+    schedules (wheel rollover) correct at O(nbuckets) instead of
+    O(revolutions).
+
+    The structure resizes itself — bucket count doubles above two
+    entries per bucket and halves below one per two — re-estimating the
+    bucket width from the smallest resident keys.  All decisions are
+    pure functions of the resident entries, so two runs (or a calendar
+    run and a heap run) see identical pop sequences.
+
+    ``pop_run`` is where the calendar earns its keep at scale: entries
+    sharing ``(time, priority)`` are adjacent at the end of one bucket,
+    so a same-instant batch of N process resumptions drains in one
+    queue interaction instead of N heap pops.
+    """
+
+    __slots__ = (
+        "_buckets", "_nbuckets", "_width", "_size",
+        "_virtual", "_auto_compact", "_compact_floor",
+        "_pushes", "_pops", "_discards", "_compactions", "_high_water",
+        "_runs", "_run_events", "_resizes", "_direct_searches",
+    )
+
+    name = "calendar"
+    batched = True
+
+    #: Bucket-count bounds and the initial width (seconds per bucket).
+    _MIN_BUCKETS = 16
+    _DEFAULT_WIDTH = 1.0
+    #: Raw size below which compaction is never attempted (same policy
+    #: as :class:`HeapQueue`, so churn behaviour is comparable).
+    _COMPACT_MIN = 128
+    #: Sample size for re-estimating the bucket width on resize.
+    _WIDTH_SAMPLE = 64
+
+    def __init__(
+        self,
+        bucket_count: int = _MIN_BUCKETS,
+        width: float = _DEFAULT_WIDTH,
+        auto_compact: bool = True,
+    ) -> None:
+        if bucket_count < 1:
+            raise SimulationError(f"bucket_count must be >= 1, got {bucket_count!r}")
+        if not width > 0.0:
+            raise SimulationError(f"width must be positive, got {width!r}")
+        self._nbuckets = int(bucket_count)
+        self._width = float(width)
+        #: Each bucket holds ``(-time, -priority, -seq, event)`` tuples in
+        #: ascending order, i.e. the minimal real key at the end.
+        self._buckets: list[list[tuple[float, int, int, "Event"]]] = []
+        for _ in range(self._nbuckets):
+            self._buckets.append([])
+        self._size = 0
+        #: Scan anchor: the *absolute* virtual bucket number (not the
+        #: wrapped index) the next dequeue scan starts from.  Keeping it
+        #: absolute lets every year-window top be recomputed as
+        #: ``(virtual + 1) * width`` — the exact arithmetic
+        #: :func:`_virtual_bucket` clamps against — instead of
+        #: accumulating ``top += width`` drift across the scan.
+        self._virtual = 0
+        self._auto_compact = bool(auto_compact)
+        self._compact_floor = self._COMPACT_MIN
+        self._pushes = 0
+        self._pops = 0
+        self._discards = 0
+        self._compactions = 0
+        self._high_water = 0
+        self._runs = 0
+        self._run_events = 0
+        self._resizes = 0
+        self._direct_searches = 0
+
+    # -- enqueue -----------------------------------------------------------
+
+    def push(self, when: float, priority: int, seq: int, event: "Event") -> None:
+        width = self._width
+        virtual = int(when / width)
+        # Float division can floor a boundary time into the previous
+        # bucket, where it would sit at (or above) that bucket's
+        # year-window top and be invisible to the scan for a whole
+        # revolution — a reordering bug.  Clamp with the same
+        # multiplication the window check uses so bucketing and
+        # scanning always agree.
+        while when >= (virtual + 1) * width:
+            virtual += 1
+        if self._size == 0 or virtual < self._virtual:
+            # First entry, or an entry behind the scan anchor (the
+            # anchor may have drifted ahead through empty buckets):
+            # re-anchor so the scan cannot miss it.
+            self._virtual = virtual
+        bucket = self._buckets[virtual % self._nbuckets]
+        insort(bucket, (-when, -priority, -seq, event))
+        self._size += 1
+        self._pushes += 1
+        if self._auto_compact and self._size > self._compact_floor:
+            self.compact()
+        if self._size > self._high_water:
+            self._high_water = self._size
+        if self._size > 2 * self._nbuckets:
+            self._resize(2 * self._nbuckets)
+
+    # -- dequeue -----------------------------------------------------------
+
+    def _locate(self) -> Optional[list[tuple[float, int, int, "Event"]]]:
+        """Anchor the scan at the bucket holding the minimal live entry.
+
+        Returns that bucket (its minimum at the end) or None when the
+        queue is empty.  Cancelled entries at bucket minima are
+        discarded along the way.  ``_virtual`` is left pointing at the
+        returned bucket, so the following pop — and any same-instant
+        run — is O(1).
+        """
+        buckets = self._buckets
+        nbuckets = self._nbuckets
+        width = self._width
+        virtual = self._virtual
+        discards = self._discards
+        size = self._size
+        scanned = 0
+        found = None
+        while size > 0 and scanned < nbuckets:
+            bucket = buckets[virtual % nbuckets]
+            while bucket:
+                tail = bucket[-1]
+                if tail[3].cancelled:
+                    bucket.pop()
+                    size -= 1
+                    discards += 1
+                    continue
+                if -tail[0] < (virtual + 1) * width:
+                    found = bucket
+                break
+            if found is not None:
+                break
+            virtual += 1
+            scanned += 1
+        self._discards = discards
+        self._size = size
+        if found is not None:
+            self._virtual = virtual
+            return found
+        if size == 0:
+            return None
+        return self._direct_search()
+
+    def _direct_search(self) -> Optional[list[tuple[float, int, int, "Event"]]]:
+        """Fallback when a full revolution found nothing in-year: find
+        the global minimum over all bucket heads and re-anchor there.
+        Amortized rare — only sparse schedules far beyond the current
+        year (wheel rollover) take this path."""
+        self._direct_searches += 1
+        buckets = self._buckets
+        best = None
+        best_bucket = None
+        discards = self._discards
+        size = self._size
+        for bucket in buckets:
+            while bucket:
+                tail = bucket[-1]
+                if tail[3].cancelled:
+                    bucket.pop()
+                    size -= 1
+                    discards += 1
+                    continue
+                # Stored keys are negated, so the *largest* stored tuple
+                # is the smallest real key.
+                if best is None or tail > best:
+                    best = tail
+                    best_bucket = bucket
+                break
+        self._discards = discards
+        self._size = size
+        if best is None:
+            return None
+        width = self._width
+        when = -best[0]
+        virtual = int(when / width)
+        while when >= (virtual + 1) * width:
+            virtual += 1
+        self._virtual = virtual
+        return best_bucket
+
+    def pop(self) -> Optional[Entry]:
+        bucket = self._locate()
+        if bucket is None:
+            return None
+        stored = bucket.pop()
+        self._size -= 1
+        self._pops += 1
+        return (-stored[0], -stored[1], -stored[2], stored[3])
+
+    def pop_run(self) -> list[Entry]:
+        bucket = self._locate()
+        if bucket is None:
+            return []
+        stored = bucket.pop()
+        size = self._size - 1
+        pops = self._pops + 1
+        discards = self._discards
+        run: list[Entry] = [(-stored[0], -stored[1], -stored[2], stored[3])]
+        when = stored[0]
+        priority = stored[1]
+        # Same (time, priority) means same virtual bucket, and the run
+        # sits contiguously at the minimal end in sequence order.
+        bucket_pop = bucket.pop
+        run_append = run.append
+        while bucket:
+            tail = bucket[-1]
+            if tail[0] == when and tail[1] == priority:
+                bucket_pop()
+                size -= 1
+                if tail[3].cancelled:
+                    discards += 1
+                    continue
+                pops += 1
+                run_append((-tail[0], -tail[1], -tail[2], tail[3]))
+                continue
+            break
+        self._size = size
+        self._pops = pops
+        self._discards = discards
+        self._runs += 1
+        self._run_events += len(run)
+        return run
+
+    def peek_key(self) -> Optional[EntryKey]:
+        bucket = self._locate()
+        if bucket is None:
+            return None
+        stored = bucket[-1]
+        return (-stored[0], -stored[1], -stored[2])
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> None:
+        """Drop cancelled entries in bulk (amortized O(1)/event).
+
+        Buckets are rebuilt filtering cancelled entries; relative order
+        inside each bucket is preserved, so the pop sequence of live
+        entries is untouched.  The doubling floor mirrors
+        :class:`HeapQueue`.
+        """
+        buckets = self._buckets
+        removed = 0
+        for index, bucket in enumerate(buckets):
+            dead = 0
+            survivors: list[tuple[float, int, int, "Event"]] = []
+            survivors_append = survivors.append
+            for stored in bucket:
+                if stored[3].cancelled:
+                    dead += 1
+                else:
+                    survivors_append(stored)
+            if dead:
+                buckets[index] = survivors
+                removed += dead
+        if removed:
+            self._compactions += 1
+            self._discards += removed
+            self._size -= removed
+        self._compact_floor = max(self._COMPACT_MIN, 2 * self._size)
+        if self._size < self._nbuckets // 2 and self._nbuckets > self._MIN_BUCKETS:
+            self._resize(max(self._MIN_BUCKETS, self._nbuckets // 2))
+
+    def _resize(self, nbuckets: int) -> None:
+        """Rebuild with ``nbuckets`` buckets and a re-estimated width.
+
+        The width is the average gap between the smallest resident
+        keys' distinct timestamps (a deterministic pure function of the
+        resident entries), aiming at about one entry per bucket per
+        year.  Degenerate samples (all same instant) keep the current
+        width.
+        """
+        entries: list[tuple[float, int, int, "Event"]] = []
+        for bucket in self._buckets:
+            entries.extend(bucket)
+        self._resizes += 1
+        self._nbuckets = nbuckets
+        # Estimate the new width from the smallest keys.  Stored keys
+        # are negated, so the largest stored tuples are the smallest
+        # real keys.
+        sample = sorted(entries, reverse=True)[: self._WIDTH_SAMPLE]
+        gaps = 0.0
+        gap_count = 0
+        previous: Optional[float] = None
+        for stored in sample:
+            when = -stored[0]
+            if previous is not None and when > previous:
+                gaps += when - previous
+                gap_count += 1
+            previous = when
+        if gap_count:
+            self._width = max(2.0 * gaps / gap_count, 1e-12)
+        width = self._width
+        buckets = []
+        for _ in range(nbuckets):
+            buckets.append([])
+        for stored in entries:
+            when = -stored[0]
+            virtual = int(when / width)
+            while when >= (virtual + 1) * width:
+                virtual += 1
+            insort(buckets[virtual % nbuckets], stored)
+        self._buckets = buckets
+        if self._size:
+            smallest = max(entries)
+            when = -smallest[0]
+            virtual = int(when / width)
+            while when >= (virtual + 1) * width:
+                virtual += 1
+            self._virtual = virtual
+        else:
+            self._virtual = 0
+
+    @property
+    def live_size(self) -> int:
+        count = 0
+        for bucket in self._buckets:
+            for stored in bucket:
+                if not stored[3].cancelled:
+                    count += 1
+        return count
+
+    def __len__(self) -> int:
+        return self._size
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "pushes": float(self._pushes),
+            "pops": float(self._pops),
+            "discards": float(self._discards),
+            "compactions": float(self._compactions),
+            "high_water": float(self._high_water),
+            "size": float(self._size),
+            "live_size": float(self.live_size),
+            "runs": float(self._runs),
+            "run_events": float(self._run_events),
+            "buckets": float(self._nbuckets),
+            "width": float(self._width),
+            "resizes": float(self._resizes),
+            "direct_searches": float(self._direct_searches),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<CalendarQueue size={self._size} buckets={self._nbuckets} "
+            f"width={self._width:g} high_water={self._high_water}>"
+        )
+
+
+#: Named queue constructors accepted by :func:`make_queue` (and through
+#: it by ``Environment(queue=...)`` and ``GridBuilder(queue=...)``).
+QUEUE_IMPLS = {
+    "heap": HeapQueue,
+    "calendar": CalendarQueue,
+}
+
+
+def make_queue(
+    spec: Union[str, EventQueue, None], auto_compact: bool = True
+) -> EventQueue:
+    """Resolve a queue spec: None/"heap"/"calendar" or an instance.
+
+    ``auto_compact`` configures named specs only; an instance is taken
+    as-is, already configured by its constructor.
+    """
+    if spec is None:
+        return HeapQueue(auto_compact=auto_compact)
+    if isinstance(spec, EventQueue):
+        return spec
+    if isinstance(spec, str):
+        factory = QUEUE_IMPLS.get(spec)
+        if factory is None:
+            raise SimulationError(
+                f"unknown event queue {spec!r}; pick from {sorted(QUEUE_IMPLS)}"
+            )
+        return factory(auto_compact=auto_compact)
+    raise SimulationError(f"queue must be a name or an EventQueue, got {spec!r}")

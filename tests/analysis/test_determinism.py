@@ -131,15 +131,25 @@ def test_deprecated_docstring_without_warning_still_checked(run_checker):
     assert rules_of(findings) == {"det-stdlib-random"}
 
 
-def test_real_shim_modules_stay_clean():
-    """Regression: the shipped shims must never trip the det rules."""
+def test_no_shim_modules_remain_shipped():
+    """The pre-facade fault shims finished their cycle and are gone.
+
+    The ``is_deprecation_shim`` exemption stays for the next
+    deprecation, but nothing in the shipped tree should qualify for it
+    today — a module that does is an overlooked leftover.
+    """
+    import ast
     from pathlib import Path
 
-    from repro.analysis.framework import Analyzer
+    from repro.analysis.determinism import is_deprecation_shim
+    from repro.analysis.framework import Module
 
     src = Path(__file__).resolve().parents[2] / "src" / "repro"
-    shims = [src / "machine" / "faults.py", src / "net" / "faults.py"]
-    for shim in shims:
-        assert shim.is_file(), shim
-    report = Analyzer([DeterminismChecker()]).run([str(s) for s in shims])
-    assert report.findings == []
+    assert not (src / "net" / "faults.py").exists()
+    shims = []
+    for path in sorted(src.rglob("*.py")):
+        source = path.read_text()
+        module = Module(str(path), ast.parse(source), source)
+        if is_deprecation_shim(module):
+            shims.append(str(path))
+    assert shims == []

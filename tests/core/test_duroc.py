@@ -9,14 +9,19 @@ from repro.core import (
     SubjobType,
 )
 from repro.errors import AllocationAborted, RequestStateError
+from repro.faults import HostCrash, schedule
 from repro.gram.states import JobState
-from repro.machine import crash_at
 
 from .conftest import request_for, spec
 
 
 def drive(grid, gen):
     return grid.run(grid.process(gen))
+
+
+def crash_at(machine, at):
+    """Schedule a crash of ``machine`` via the declarative fault facade."""
+    schedule(machine.env, machine, [HostCrash(machine.name, at=at)])
 
 
 class TestHappyPath:

@@ -11,8 +11,13 @@ from repro.core import (
     SubjobType,
 )
 from repro.errors import AllocationAborted
+from repro.faults import HostCrash, schedule
 from repro.gridenv import DEFAULT_EXECUTABLE, GridBuilder
-from repro.machine import crash_at
+
+
+def crash_at(machine, at):
+    """Schedule a crash of ``machine`` via the declarative fault facade."""
+    schedule(machine.env, machine, [HostCrash(machine.name, at=at)])
 
 
 @pytest.fixture

@@ -200,14 +200,17 @@ class TestFailureModes:
         assert "application bug" in reason
 
     def test_machine_crash_fails_running_job(self, env, site, client):
-        from repro.machine import crash_at
+        from repro.faults import HostCrash, schedule
 
         def scenario(env):
             handle = yield from client.submit(
                 site.contact, rsl_for(site.contact, count=4)
             )
             yield from client.wait_for_state(handle, JobState.ACTIVE)
-            crash_at(site.machine, at=env.now + 0.5)
+            schedule(
+                env, site.machine,
+                [HostCrash(site.machine.name, at=env.now + 0.5)],
+            )
             yield env.timeout(1.0)
             return handle
 

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.machine import Machine, crash_at, overload_during
+from repro.faults import HostCrash, Overload, schedule
+from repro.machine import Machine
 from repro.net import Network
 from repro.simcore import Environment, Interrupt
 
@@ -150,23 +151,27 @@ class TestMachine:
         assert ports[0].endpoint.host == "node-a"
 
 
-class TestFaultHelpers:
-    def test_crash_at(self, env, machine):
-        crash_at(machine, at=5.0)
+class TestScheduledFaults:
+    """The declarative facade drives machine faults directly."""
+
+    def test_scheduled_crash(self, env, machine):
+        schedule(env, machine, [HostCrash("node-a", at=5.0)])
         env.run(until=4.0)
         assert not machine.crashed
         env.run(until=6.0)
         assert machine.crashed
 
     def test_crash_with_recovery(self, env, machine):
-        crash_at(machine, at=2.0, duration=3.0)
+        schedule(env, machine, [HostCrash("node-a", at=2.0, duration=3.0)])
         env.run(until=3.0)
         assert machine.crashed
         env.run(until=6.0)
         assert not machine.crashed
 
     def test_overload_window(self, env, machine):
-        overload_during(machine, at=1.0, duration=2.0, factor=10.0)
+        schedule(
+            env, machine, [Overload("node-a", factor=10.0, at=1.0, duration=2.0)]
+        )
         env.run(until=2.0)
         assert machine.load_factor == 10.0
         env.run(until=4.0)

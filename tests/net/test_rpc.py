@@ -1,10 +1,11 @@
-"""Unit tests for the RPC layer and fault plans."""
+"""Unit tests for the RPC layer and scheduled network faults."""
 
 import numpy as np
 import pytest
 
-from repro.errors import RPCTimeout
-from repro.net import Endpoint, FaultPlan, Network, Port, RPCError, call, random_loss
+from repro.errors import FaultSpecError, RPCTimeout
+from repro.faults import HostCrash, MessageLoss, Partition, schedule
+from repro.net import Endpoint, Network, Port, RPCError, call
 from repro.net.rpc import reply_error, reply_ok
 from repro.simcore import Environment
 
@@ -133,10 +134,9 @@ class TestRPC:
         assert env.run(env.process(caller(env))) == "lost"
 
 
-class TestFaultPlan:
+class TestScheduledNetworkFaults:
     def test_scheduled_crash_and_restore(self, env, net):
-        plan = FaultPlan().crash("server", at=1.0, duration=2.0)
-        plan.install(net)
+        schedule(env, net, [HostCrash("server", at=1.0, duration=2.0)])
         states = []
 
         def observer(env):
@@ -149,8 +149,9 @@ class TestFaultPlan:
         assert states == [True, False, True]
 
     def test_partition_window(self, env, net):
-        plan = FaultPlan().partition([["client"], ["server"]], at=1.0, duration=1.0)
-        plan.install(net)
+        schedule(
+            env, net, [Partition([["client"], ["server"]], at=1.0, duration=1.0)]
+        )
         a = Port(net, Endpoint("client", "p"))
         b = Port(net, Endpoint("server", "p"))
 
@@ -165,31 +166,50 @@ class TestFaultPlan:
         kinds = [m.kind for m in b.mailbox.items]
         assert kinds == ["after"]
 
-    def test_random_loss_rate(self, env, net):
-        rng = np.random.default_rng(42)
-        random_loss(net, probability=0.5, rng=rng)
+    def test_message_loss_rate(self, env, net):
+        # The loss window installs its drop rule when the simulation
+        # starts, so the sends run in a process scheduled after it.
+        schedule(
+            env, net, [MessageLoss(probability=0.5)],
+            rng=np.random.default_rng(42),
+        )
         a = Port(net, Endpoint("client", "p"))
         b = Port(net, Endpoint("server", "p"))
         n = 1000
-        for i in range(n):
-            a.send(b.endpoint, "x", payload=i)
+
+        def sender(env):
+            yield env.timeout(0.0)
+            for i in range(n):
+                a.send(b.endpoint, "x", payload=i)
+
+        env.process(sender(env))
         env.run()
         received = b.pending()
         assert 400 < received < 600
 
-    def test_random_loss_kind_filter(self, env, net):
-        rng = np.random.default_rng(0)
-        random_loss(net, probability=1.0, rng=rng, kinds={"lossy"})
+    def test_message_loss_kind_filter(self, env, net):
+        schedule(
+            env, net, [MessageLoss(probability=1.0, kinds={"lossy"})],
+            rng=np.random.default_rng(0),
+        )
         a = Port(net, Endpoint("client", "p"))
         b = Port(net, Endpoint("server", "p"))
-        a.send(b.endpoint, "lossy")
-        a.send(b.endpoint, "safe")
+
+        def sender(env):
+            yield env.timeout(0.0)
+            a.send(b.endpoint, "lossy")
+            a.send(b.endpoint, "safe")
+
+        env.process(sender(env))
         env.run()
         assert [m.kind for m in b.mailbox.items] == ["safe"]
 
-    def test_probability_validation(self, net):
-        with pytest.raises(ValueError):
-            random_loss(net, probability=1.5, rng=np.random.default_rng(0))
+    def test_probability_validation(self, env, net):
+        with pytest.raises(FaultSpecError):
+            schedule(
+                env, net, [MessageLoss(probability=1.5)],
+                rng=np.random.default_rng(0),
+            )
 
 
 class TestCorrelationIds:

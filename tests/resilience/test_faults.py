@@ -103,47 +103,28 @@ class TestInstallation:
             schedule(grid.env, object(), [HostCrash("RM1")])
 
 
-class TestDeprecatedShims:
-    def test_crash_at_warns_and_still_works(self):
+class TestShimRetirement:
+    """The pre-facade helpers completed their deprecation cycle."""
+
+    def test_machine_shims_are_gone(self):
+        import repro.machine
+        import repro.machine.faults
+
+        assert not hasattr(repro.machine, "crash_at")
+        assert not hasattr(repro.machine.faults, "crash_at")
+        assert not hasattr(repro.machine.faults, "overload_during")
+
+    def test_net_fault_module_is_gone(self):
+        import repro.net
+
+        assert not hasattr(repro.net, "FaultPlan")
+        assert not hasattr(repro.net, "random_loss")
+        with pytest.raises(ModuleNotFoundError):
+            import repro.net.faults  # noqa: F401
+
+    def test_facade_covers_the_old_crash_helper(self):
         grid = build_grid()
         machine = grid.machine("RM1")
-        with pytest.warns(DeprecationWarning, match="repro.faults.HostCrash"):
-            from repro.machine.faults import crash_at
-
-            crash_at(machine, at=3.0)
+        schedule(grid.env, machine, [HostCrash("RM1", at=3.0)])
         grid.run(until=4.0)
         assert machine.crashed
-
-    def test_overload_during_warns_and_still_works(self):
-        grid = build_grid()
-        machine = grid.machine("RM2")
-        with pytest.warns(DeprecationWarning, match="repro.faults.Overload"):
-            from repro.machine.faults import overload_during
-
-            overload_during(machine, at=1.0, duration=2.0, factor=8.0)
-        grid.run(until=1.5)
-        assert machine.load_factor == 8.0
-        grid.run(until=4.0)
-        assert machine.load_factor == 1.0
-
-    def test_random_loss_warns_and_delegates(self):
-        grid = build_grid()
-        with pytest.warns(DeprecationWarning, match="repro.faults.MessageLoss"):
-            from repro.net.faults import random_loss
-
-            rule = random_loss(
-                grid.network, probability=1.0, rng=np.random.default_rng(0)
-            )
-        assert rule is not None
-
-    def test_fault_plan_warns_and_delegates(self):
-        grid = build_grid()
-        with pytest.warns(DeprecationWarning, match="repro.faults.schedule"):
-            from repro.net.faults import FaultPlan
-
-            plan = FaultPlan().crash("RM1", at=2.0)
-        plan.install(grid.network)
-        grid.run(until=3.0)
-        # Installed against the bare network, the crash is network-level:
-        # the host goes dark rather than the machine object dying.
-        assert not grid.network.host_up("RM1")

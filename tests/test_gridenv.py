@@ -82,3 +82,131 @@ class TestGridBuilder:
         grid.env.timeout(10)
         grid.run(until=5)
         assert grid.now == 5.0
+
+
+class TestObserverSeam:
+    """`with_probe` is the one composition point for grid observers."""
+
+    def test_single_probe_attaches_directly(self):
+        from repro.verify.recorder import Recorder
+
+        recorder = Recorder()
+        grid = (
+            GridBuilder().add_machine("m", nodes=4).with_probe(recorder).build()
+        )
+        assert grid.env.probe is recorder
+        assert grid.recorder is recorder
+
+    def test_multiple_probes_fan_out(self):
+        from repro.prof.counters import OpCounters
+        from repro.simcore import FanoutProbe
+        from repro.verify.recorder import Recorder
+
+        recorder, counters = Recorder(), OpCounters()
+        grid = (
+            GridBuilder()
+            .add_machine("m", nodes=4)
+            .with_probe(recorder, counters)
+            .build()
+        )
+        assert isinstance(grid.env.probe, FanoutProbe)
+        assert grid.recorder is recorder
+        assert grid.counters is counters
+
+    def test_legacy_methods_delegate(self):
+        grid = (
+            GridBuilder()
+            .add_machine("m", nodes=4)
+            .with_monitors()
+            .with_profiling()
+            .build()
+        )
+        assert grid.recorder is not None
+        assert grid.counters is not None
+        grid.run(until=1.0)
+        assert grid.counters.snapshot()["sim.events_processed"] > 0
+
+    def test_span_sink_routes_to_tracer(self):
+        from repro.simcore import SpanSink
+
+        sink = SpanSink()
+        builder = GridBuilder().add_machine("m", nodes=4).with_probe(sink)
+        grid = builder.build()
+        assert grid.tracer.sink is sink
+        # Re-adding the same sink is idempotent; a second, different
+        # sink is a composition error.
+        builder.with_probe(sink)
+        with pytest.raises(ReproError, match="one span sink"):
+            builder.with_probe(SpanSink())
+
+    def test_duplicate_probe_is_idempotent(self):
+        from repro.prof.counters import OpCounters
+
+        counters = OpCounters()
+        grid = (
+            GridBuilder()
+            .add_machine("m", nodes=4)
+            .with_probe(counters)
+            .with_probe(counters)
+            .build()
+        )
+        assert grid.env.probe is counters
+
+    def test_non_observer_rejected(self):
+        with pytest.raises(ReproError, match="Probe or SpanSink"):
+            GridBuilder().add_machine("m", nodes=4).with_probe(object())
+
+
+class TestKernelKnobs:
+    """Queue implementation and delivery mode are builder decisions."""
+
+    def test_default_queue_is_the_heap(self):
+        grid = GridBuilder().add_machine("m", nodes=4).build()
+        assert grid.env.queue.name == "heap"
+        assert grid.network.slotted is False
+
+    def test_calendar_queue_selected_by_name(self):
+        grid = GridBuilder(queue="calendar").add_machine("m", nodes=4).build()
+        assert grid.env.queue.name == "calendar"
+
+    def test_queue_instance_passes_through(self):
+        from repro.simcore import CalendarQueue
+
+        queue = CalendarQueue(bucket_count=32)
+        grid = GridBuilder(queue=queue).add_machine("m", nodes=4).build()
+        assert grid.env.queue is queue
+
+    def test_slotted_delivery_knobs_reach_the_network(self):
+        grid = (
+            GridBuilder(slotted_delivery=True, slot_width=0.125)
+            .add_machine("m", nodes=4)
+            .build()
+        )
+        assert grid.network.slotted is True
+        assert grid.network.slot_width == 0.125
+
+    def test_calendar_grid_reproduces_the_heap_run(self):
+        def submit_and_wait(grid):
+            client = grid.gram_client()
+            from repro.rsl import parse
+
+            spec = parse(
+                '&(resourceManagerContact="m1:gatekeeper")(count=2)'
+                f'(executable="{DEFAULT_EXECUTABLE}")'
+            )
+
+            def agent(env):
+                handle = yield from client.submit("m1:gatekeeper", spec)
+                return (env.now, handle.job_id)
+
+            result = grid.run(grid.process(agent(grid.env)))
+            grid.run()
+            return (result, grid.now)
+
+        runs = {}
+        for queue in ("heap", "calendar"):
+            grid = GridBuilder(seed=11, queue=queue).add_machine(
+                "m1", nodes=4
+            ).build()
+            runs[queue] = submit_and_wait(grid)
+        assert runs["heap"] == runs["calendar"]
