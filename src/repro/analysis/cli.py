@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from fnmatch import fnmatchcase
 from pathlib import Path
@@ -15,9 +16,20 @@ from typing import Optional, Sequence
 
 from repro.analysis.callback_safety import CallbackSafetyChecker
 from repro.analysis.determinism import DeterminismChecker
-from repro.analysis.framework import Analyzer, Checker, is_glob_selector
+from repro.analysis.framework import (
+    Analyzer,
+    Checker,
+    is_glob_selector,
+    iter_python_files,
+)
+from repro.analysis.memory_rules import MemoryChecker
 from repro.analysis.perf_rules import PerfChecker
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_stats_text,
+    render_text,
+)
 from repro.analysis.resilience_rules import ResilienceChecker
 from repro.analysis.rsl_schema import RslSchemaChecker
 from repro.analysis.statemachine import StateMachineChecker
@@ -32,6 +44,7 @@ def all_checkers() -> list[Checker]:
         RslSchemaChecker(),
         ResilienceChecker(),
         PerfChecker(),
+        MemoryChecker(),
     ]
 
 
@@ -50,8 +63,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyze (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text); sarif emits a SARIF 2.1.0 "
+        "document for code-scanning upload",
+    )
+    parser.add_argument(
+        "--changed-only", nargs="?", const="origin/main", default=None,
+        metavar="REF",
+        help="analyze only files changed since REF (default origin/main) "
+        "plus untracked files, per git; unchanged files are skipped",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="collect per-checker/per-file timings and per-rule finding "
+        "counts; appended to text output, embedded in json, printed to "
+        "stderr for sarif",
     )
     parser.add_argument(
         "--select", action="append", default=None, metavar="RULES",
@@ -97,6 +123,40 @@ def list_rules_json() -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _git_lines(args: Sequence[str]) -> list[str]:
+    """Run a git command, returning its non-empty output lines."""
+    completed = subprocess.run(
+        ["git", *args], capture_output=True, text=True, check=True
+    )
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_files(
+    paths: Sequence[str], ref: str
+) -> list[str]:
+    """The discovered files that differ from ``ref`` or are untracked.
+
+    Both sides resolve to absolute paths before intersecting, so the
+    filter works no matter how ``paths`` were spelled relative to the
+    repository root.  Raises ``subprocess.CalledProcessError`` /
+    ``OSError`` when git is unavailable — the CLI turns that into a
+    usage error rather than silently analyzing everything.
+    """
+    top = Path(_git_lines(["rev-parse", "--show-toplevel"])[0])
+    changed = {
+        (top / line).resolve()
+        for line in (
+            _git_lines(["diff", "--name-only", ref])
+            + _git_lines(["ls-files", "--others", "--exclude-standard"])
+        )
+    }
+    return [
+        str(path)
+        for path in iter_python_files(paths)
+        if path.resolve() in changed
+    ]
+
+
 def _known_selectors(checkers: Sequence[Checker]) -> set[str]:
     known: set[str] = set()
     for checker in checkers:
@@ -138,12 +198,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"--select: unknown rule/family/checker {', '.join(unknown)} "
                 f"(see --list-rules)"
             )
-    analyzer = Analyzer(all_checkers(), select=select)
-    report = analyzer.run(args.paths or _default_paths())
-    rendered = (
-        render_json(report) if args.format == "json" else render_text(report)
+    paths = args.paths or _default_paths()
+    if args.changed_only is not None:
+        try:
+            paths = changed_files(paths, args.changed_only)
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            parser.error(f"--changed-only: git failed: {detail.strip()}")
+    analyzer = Analyzer(
+        all_checkers(), select=select, collect_stats=args.stats
     )
+    report = analyzer.run(paths)
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "sarif":
+        rendered = render_sarif(report, all_checkers())
+    else:
+        rendered = render_text(report)
+        if report.stats is not None:
+            rendered = "\n".join([rendered, render_stats_text(report.stats)])
     print(rendered)
+    if args.format == "sarif" and report.stats is not None:
+        print(render_stats_text(report.stats), file=sys.stderr)
     return 0 if report.clean else 1
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator, Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence
 
 from repro.analysis.framework import (
     Checker,
@@ -33,6 +33,7 @@ from repro.analysis.framework import (
     Severity,
     dotted_name,
 )
+from repro.analysis.scopes import scoped_roots
 
 #: Opt-in marker: a function or class whose ``def``/``class`` line (or
 #: the line directly above it) carries this comment is treated as hot.
@@ -99,21 +100,6 @@ TUPLE_MEMBERSHIP_MIN = 4
 ATTR_LOOP_MIN = 2
 
 _FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
-_Scoped = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef]
-
-
-def _qualname_matches(qualname: str, allow: frozenset[str]) -> bool:
-    """True if ``qualname`` or any dotted prefix of it is allowed."""
-    parts = qualname.split(".")
-    return any(".".join(parts[:i]) in allow for i in range(1, len(parts) + 1))
-
-
-def _has_marker(node: _Scoped, lines: Sequence[str]) -> bool:
-    """True if the def/class line or the line above carries the marker."""
-    for lineno in (node.lineno, node.lineno - 1):
-        if 1 <= lineno <= len(lines) and _HOTPATH_RE.search(lines[lineno - 1]):
-            return True
-    return False
 
 
 def hot_roots(module: Module) -> list[ast.AST]:
@@ -121,37 +107,10 @@ def hot_roots(module: Module) -> list[ast.AST]:
 
     Whole-module registry entries return the module tree itself;
     qualname-scoped entries and ``# repro: hotpath`` markers return the
-    matching ``def``/``class`` nodes.
+    matching ``def``/``class`` nodes (resolution shared with the
+    ``mem-*`` family via :mod:`repro.analysis.scopes`).
     """
-    posix = module.path.replace("\\", "/")
-    allow: Optional[frozenset[str]] = None
-    registered = False
-    for suffix, scope in HOT_PATHS.items():
-        if posix.endswith(suffix):
-            registered = True
-            allow = scope
-            break
-    if registered and allow is None:
-        return [module.tree]
-
-    roots: list[ast.AST] = []
-
-    def visit(node: ast.AST, prefix: str) -> None:
-        for child in ast.iter_child_nodes(node):
-            if not isinstance(child, (*_FuncDef, ast.ClassDef)):
-                visit(child, prefix)
-                continue
-            qualname = f"{prefix}.{child.name}" if prefix else child.name
-            if _has_marker(child, module.lines) or (
-                registered and allow and _qualname_matches(qualname, allow)
-            ):
-                roots.append(child)
-            else:
-                # A nested def/class may still be opted in on its own.
-                visit(child, qualname)
-
-    visit(module.tree, "")
-    return roots
+    return scoped_roots(module, HOT_PATHS, _HOTPATH_RE)
 
 
 class PerfChecker(Checker):

@@ -10,8 +10,15 @@ rendered as indented continuation lines in text output.
 from __future__ import annotations
 
 import json
+from pathlib import PurePath
+from typing import Sequence
 
-from repro.analysis.framework import AnalysisReport, Finding
+from repro.analysis.framework import (
+    AnalysisReport,
+    AnalysisStats,
+    Checker,
+    Finding,
+)
 
 
 def format_finding(finding: Finding) -> str:
@@ -65,4 +72,125 @@ def render_json(report: AnalysisReport) -> str:
         "suppressed": report.suppressed,
         "findings": [finding_payload(f) for f in report.findings],
     }
+    if report.stats is not None:
+        payload["stats"] = stats_payload(report.stats)
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+# -- cost accounting (--stats) ------------------------------------------------
+
+
+def stats_payload(stats: AnalysisStats) -> dict:
+    """The stats' JSON object form (embedded under ``"stats"``)."""
+    return {
+        "parse_seconds": stats.parse_seconds,
+        "checker_seconds": dict(sorted(stats.checker_seconds.items())),
+        "file_seconds": dict(sorted(stats.file_seconds.items())),
+        "rule_counts": dict(sorted(stats.rule_counts.items())),
+        "suppressed_counts": dict(sorted(stats.suppressed_counts.items())),
+    }
+
+
+def render_stats_text(stats: AnalysisStats, top_files: int = 10) -> str:
+    """Human-readable cost accounting: slowest checkers/files, rule tallies."""
+    lines = ["-- analysis stats --"]
+    lines.append(f"parse: {stats.parse_seconds * 1000.0:.1f} ms")
+    lines.append("per-checker:")
+    by_cost = sorted(
+        stats.checker_seconds.items(), key=lambda item: (-item[1], item[0])
+    )
+    for name, seconds in by_cost:
+        lines.append(f"  {name:<24} {seconds * 1000.0:8.1f} ms")
+    slowest = sorted(
+        stats.file_seconds.items(), key=lambda item: (-item[1], item[0])
+    )[:top_files]
+    if slowest:
+        lines.append(f"slowest files (top {len(slowest)}):")
+        for path, seconds in slowest:
+            lines.append(f"  {path:<48} {seconds * 1000.0:8.1f} ms")
+    tallies = sorted(
+        set(stats.rule_counts) | set(stats.suppressed_counts)
+    )
+    if tallies:
+        lines.append("per-rule findings (reported / suppressed):")
+        for rule_id in tallies:
+            lines.append(
+                f"  {rule_id:<24} {stats.rule_counts.get(rule_id, 0):4d} / "
+                f"{stats.suppressed_counts.get(rule_id, 0)}"
+            )
+    return "\n".join(lines)
+
+
+# -- SARIF --------------------------------------------------------------------
+
+_SARIF_SCHEMA = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(
+    report: AnalysisReport, checkers: Sequence[Checker] = ()
+) -> str:
+    """SARIF 2.1.0 document, consumable by code-scanning uploaders.
+
+    ``checkers`` supplies the rule metadata table (every shipped rule,
+    not just the violated ones, so viewers can show rule summaries and
+    severities); findings reference it by ``ruleIndex`` when present.
+    File paths are emitted repo-relative with ``/`` separators, which
+    is what GitHub code scanning expects from a checkout-rooted run.
+    """
+    rules_meta: list[dict] = []
+    rule_index: dict[str, int] = {}
+    for checker in checkers:
+        for rule in checker.rules:
+            if rule.id in rule_index:
+                continue
+            rule_index[rule.id] = len(rules_meta)
+            rules_meta.append({
+                "id": rule.id,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": rule.severity.value},
+            })
+
+    results = []
+    for finding in report.findings:
+        region = {"startLine": finding.line, "startColumn": finding.col}
+        if finding.end_line:
+            region["endLine"] = finding.end_line
+        message = finding.message
+        if finding.witness:
+            message = "\n".join(
+                [message, "happens-before witness:", *finding.witness]
+            )
+        result = {
+            "ruleId": finding.rule,
+            "level": finding.severity.value,
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": PurePath(finding.file).as_posix(),
+                    },
+                    "region": region,
+                },
+            }],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "rules": rules_meta,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

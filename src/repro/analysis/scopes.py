@@ -1,0 +1,86 @@
+"""Registry-scoped root resolution shared by aggressive checkers.
+
+The ``perf-*`` (:mod:`repro.analysis.perf_rules`) and ``mem-*``
+(:mod:`repro.analysis.memory_rules`) families are deliberately noisy,
+so each fires only inside an explicit scope: a registry mapping posix
+path suffixes to either ``None`` (the whole module is in scope) or a
+frozenset of dotted qualname prefixes (``"Environment.step"`` matches
+that method, a bare class name matches the class and everything in it)
+— plus a per-family marker comment (``# repro: hotpath`` /
+``# repro: longlived``) on or directly above a ``def``/``class`` line
+for one-off opt-ins outside the registry.
+
+This module owns the resolution logic both families share;
+:func:`scoped_roots` returns the AST subtrees a checker should walk.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional, Sequence, Union
+
+from repro.analysis.framework import Module
+
+_FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+_Scoped = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef]
+
+#: A scope registry: posix path suffix -> None (whole module) or the
+#: allowed dotted-qualname prefixes within it.
+ScopeRegistry = dict[str, Optional[frozenset[str]]]
+
+
+def qualname_matches(qualname: str, allow: frozenset[str]) -> bool:
+    """True if ``qualname`` or any dotted prefix of it is allowed."""
+    parts = qualname.split(".")
+    return any(".".join(parts[:i]) in allow for i in range(1, len(parts) + 1))
+
+
+def has_marker(node: _Scoped, lines: Sequence[str], marker: re.Pattern[str]) -> bool:
+    """True if the def/class line or the line above carries the marker."""
+    for lineno in (node.lineno, node.lineno - 1):
+        if 1 <= lineno <= len(lines) and marker.search(lines[lineno - 1]):
+            return True
+    return False
+
+
+def scoped_roots(
+    module: Module,
+    registry: ScopeRegistry,
+    marker: re.Pattern[str],
+) -> list[ast.AST]:
+    """The AST subtrees of ``module`` in scope for a registry + marker.
+
+    Whole-module registry entries return the module tree itself;
+    qualname-scoped entries and marker comments return the matching
+    ``def``/``class`` nodes.
+    """
+    posix = module.path.replace("\\", "/")
+    allow: Optional[frozenset[str]] = None
+    registered = False
+    for suffix, scope in registry.items():
+        if posix.endswith(suffix):
+            registered = True
+            allow = scope
+            break
+    if registered and allow is None:
+        return [module.tree]
+
+    roots: list[ast.AST] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (*_FuncDef, ast.ClassDef)):
+                visit(child, prefix)
+                continue
+            qualname = f"{prefix}.{child.name}" if prefix else child.name
+            if has_marker(child, module.lines, marker) or (
+                registered and allow and qualname_matches(qualname, allow)
+            ):
+                roots.append(child)
+            else:
+                # A nested def/class may still be opted in on its own.
+                visit(child, qualname)
+
+    visit(module.tree, "")
+    return roots

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.bounded import BoundedDict
 from repro.core.config import DurocConfig
 from repro.errors import HostDown
 from repro.net.address import Endpoint
@@ -31,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover
 CHECKIN = "duroc.checkin"
 RELEASE = "duroc.release"
 ABORT = "duroc.abort"
+
+#: Bound on stored release payloads.  A base is only re-read while some
+#: process of its slot may still retransmit a check-in (its RELEASE was
+#: lost) — a window far smaller than this; an evicted slot's straggler
+#: falls back to the GRAM-level cancel path.
+RELEASE_BASE_MAX = 1024
 
 
 @dataclass(frozen=True)
@@ -57,7 +64,10 @@ class BarrierTable:
         """Store a check-in; returns True the first time a rank arrives."""
         if checkin.rank in self.checkins:
             return False
-        self.checkins[checkin.rank] = checkin
+        # Bounded by construction: at most ``count`` ranks check in
+        # (the spawner created exactly count processes) and the table
+        # itself is dropped on retire.
+        self.checkins[checkin.rank] = checkin  # repro: noqa mem-grow-only-attr
         return True
 
     @property
@@ -90,11 +100,17 @@ class BarrierManager:
         self.port = port
         self.metrics = metrics if metrics is not None else NULL_METRICS
         self.tables: dict[int, BarrierTable] = {}
-        #: (slot_id, rank) -> release time, for barrier-wait statistics.
+        #: (slot_id, rank) -> release time, for barrier-wait statistics
+        #: (§4.2).  Bounded by the request's own process count: one
+        #: manager exists per DurocJob, and barrier_waits() reads every
+        #: entry, so releases are retained for the job's lifetime.
         self.release_times: dict[tuple[int, int], float] = {}
         #: slot_id -> released base payload, kept so retransmitted
-        #: check-ins (the process's RELEASE was lost) can be answered.
-        self._release_base: dict[int, dict] = {}
+        #: check-ins (the process's RELEASE was lost) can be answered;
+        #: LRU-bounded and dropped when the slot's table is discarded.
+        self._release_base: BoundedDict[int, dict] = BoundedDict(
+            RELEASE_BASE_MAX
+        )
 
     def open_table(self, slot_id: int, count: int) -> BarrierTable:
         table = BarrierTable(slot_id, count)
@@ -108,6 +124,9 @@ class BarrierManager:
                 f"barrier:{slot_id}", "w", op="discard",
             )
         self.tables.pop(slot_id, None)
+        # Only pre-release slots are ever discarded (delete() requires
+        # an editable request state), so no resend can miss this base.
+        self._release_base.pop(slot_id, None)
 
     def record(self, checkin: Checkin) -> Optional[BarrierTable]:
         """Record a check-in; returns the table, or None if unknown slot."""
@@ -160,7 +179,12 @@ class BarrierManager:
                 continue
             payload = dict(base, my_rank=rank)
             self._send(checkin.endpoint, RELEASE, payload)
-            self.release_times[(slot_id, rank)] = self.env.now
+            # Audited: one entry per released process of this job; the
+            # §4.2 statistics read every entry for the manager's
+            # lifetime.
+            self.release_times[  # repro: noqa mem-grow-only-attr
+                (slot_id, rank)
+            ] = self.env.now
             self.metrics.gauge("duroc.barrier_waiting").dec()
             self.metrics.histogram("duroc.barrier_wait_seconds").observe(
                 self.env.now - checkin.time

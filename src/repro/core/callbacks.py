@@ -13,9 +13,16 @@ failure handling works.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Callable, Optional
+
+#: Notifications kept in :attr:`CallbackDispatcher.log`.  Generously
+#: above any single request's event count (a request emits tens of
+#: notifications), but bounded so an always-on orchestrator does not
+#: retain every notification it ever fanned out.
+LOG_MAX = 4096
 
 
 class DurocEvent(str, Enum):
@@ -48,14 +55,32 @@ Handler = Callable[[Notification], None]
 class CallbackDispatcher:
     """Registry + synchronous fan-out of notifications."""
 
-    def __init__(self) -> None:
+    def __init__(self, log_max: int = LOG_MAX) -> None:
         self._handlers: dict[Optional[DurocEvent], list[Handler]] = {}
-        #: Full history, useful for tests and monitoring dashboards.
-        self.log: list[Notification] = []
+        #: Recent history (most recent ``log_max`` notifications),
+        #: useful for tests and monitoring dashboards.
+        self.log: deque[Notification] = deque(maxlen=log_max)
 
     def on(self, event: Optional[DurocEvent], handler: Handler) -> None:
         """Register for one event kind (None = all events)."""
         self._handlers.setdefault(event, []).append(handler)
+
+    def off(self, event: Optional[DurocEvent], handler: Handler) -> None:
+        """Remove one registration made with :meth:`on`.
+
+        A handler registered N times must be removed N times; removing
+        a handler that is not registered is a silent no-op, so teardown
+        paths can call it unconditionally.
+        """
+        handlers = self._handlers.get(event)
+        if handlers is None:
+            return
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            return
+        if not handlers:
+            del self._handlers[event]
 
     def emit(self, notification: Notification) -> None:
         self.log.append(notification)

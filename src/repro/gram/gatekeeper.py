@@ -41,6 +41,10 @@ from repro.schedulers.base import LocalScheduler
 from repro.simcore.tracing import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    # BoundedDict is imported lazily in __init__: repro.core's package
+    # init reaches back into repro.gram via the co-allocator, so a
+    # module-level import here would close that cycle.
+    from repro.core.bounded import BoundedDict
     from repro.simcore.environment import Environment
 
 SUBMIT = "gram.submit"
@@ -48,6 +52,12 @@ PING = "gram.ping"
 
 #: The well-known gatekeeper port name.
 GATEKEEPER_PORT = "gatekeeper"
+
+#: Bound on per-gatekeeper retained request state (job-manager handles
+#: and the submission dedup cache).  LRU eviction: an entry only
+#: matters while its client may still retry, so the bound need only
+#: exceed the in-flight window, not the service lifetime.
+RETAINED_JOBS_MAX = 1024
 
 
 class Gatekeeper:
@@ -64,6 +74,8 @@ class Gatekeeper:
         costs: Optional[CostModel] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        from repro.core.bounded import BoundedDict
+
         self.env = env
         self.machine = machine
         self.scheduler = scheduler
@@ -75,12 +87,20 @@ class Gatekeeper:
         self.metrics = self.tracer.metrics
         self.port = Port(machine.network, Endpoint(machine.name, GATEKEEPER_PORT))
         self.endpoint = self.port.endpoint
-        #: Job managers created by this gatekeeper, by job id.
-        self.job_managers: dict[str, JobManager] = {}
+        #: Job managers created by this gatekeeper, by job id.  The
+        #: handle table is a lookup registry, not ownership: evicting
+        #: an entry never stops the manager's process.
+        self.job_managers: "BoundedDict[str, JobManager]" = BoundedDict(
+            RETAINED_JOBS_MAX
+        )
         #: Accepted submissions by client submission id: a retried
         #: submit whose predecessor lost only the reply is answered
-        #: from this cache instead of creating a duplicate job.
-        self._submissions: dict[str, dict] = {}
+        #: from this cache instead of creating a duplicate job.  LRU —
+        #: retries arrive within the client's resend window, far inside
+        #: the bound; an evicted id would merely resubmit.
+        self._submissions: "BoundedDict[str, dict]" = BoundedDict(
+            RETAINED_JOBS_MAX
+        )
         self._job_counter = 0
         self.listener = env.process(self._listen(), name=f"gk:{machine.name}")
 

@@ -12,13 +12,41 @@ slotted and value-frozen with its hash computed once at construction;
 :meth:`Endpoint.intern` and the :meth:`Endpoint.parse` cache return
 canonical instances for long-lived, repeatedly parsed addresses (a
 service's well-known contact) so equal endpoints are usually also
-identical.  Ephemeral reply ports should *not* be interned — the
-canonical table is never evicted by design.
+identical.
+
+Retention policy (mem-* audited): the intern table holds *well-known
+service addresses only* — :meth:`Endpoint.intern` rejects ephemeral
+reply ports (``label.N`` names minted by
+:func:`repro.net.transport.ephemeral_endpoint`) and hard-fails at
+:data:`INTERN_MAX` rather than leak, because interned instances live
+for the process lifetime.  :meth:`Endpoint.parse` memoizes through a
+bounded LRU cache instead, so arbitrary request-supplied contact
+strings can never pin memory.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    # Imported lazily at runtime: repro.core.config imports Endpoint,
+    # so a module-level import of repro.core here would be circular.
+    from repro.core.bounded import BoundedDict
+
+#: Hard cap on interned (process-lifetime) endpoints.  Far above any
+#: sane topology — one entry per *service*, not per request — so
+#: hitting it means ephemeral addresses are being interned; fail loudly
+#: instead of leaking quietly.
+INTERN_MAX = 4096
+
+#: Entries in the bounded :meth:`Endpoint.parse` memo cache.
+PARSE_CACHE_MAX = 512
+
+
+def _is_ephemeral_port(port: str) -> bool:
+    """True for ``label.N`` reply-port names (see ephemeral_endpoint)."""
+    head, sep, tail = port.rpartition(".")
+    return bool(sep) and tail.isdigit()
 
 
 class Endpoint:
@@ -31,10 +59,18 @@ class Endpoint:
 
     __slots__ = ("host", "port", "_hash")
 
-    #: Canonical instances, keyed by ``(host, port)``.  Shared by
-    #: :meth:`intern` and :meth:`parse`; never evicted, so only
-    #: long-lived addresses belong here.
+    #: Canonical instances, keyed by ``(host, port)``.  Entries live
+    #: for the process lifetime, so only well-known service addresses
+    #: belong here: :meth:`intern` enforces that by rejecting ephemeral
+    #: reply ports and capping the table at INTERN_MAX.
+    #: # repro: noqa mem-instance-registry — policy-bounded (see above)
     _interned: dict[tuple[str, str], "Endpoint"] = {}
+
+    #: Bounded parse memo: text -> Endpoint for addresses that are
+    #: re-parsed but not canonical (LRU; equality-only, never identity).
+    #: Built lazily on first parse — the BoundedDict import must not run
+    #: at module load (see the TYPE_CHECKING note above).
+    _parse_cache: Optional["BoundedDict[str, Endpoint]"] = None
 
     def __init__(self, host: str, port: str) -> None:
         object.__setattr__(self, "host", host)
@@ -98,25 +134,59 @@ class Endpoint:
         Registers this instance if the address is new.  Interned
         endpoints make dict probes on the delivery path cheap (pointer
         equality short-circuits ``__eq__``), at the cost of living for
-        the process lifetime — intern well-known service addresses,
-        never per-request reply ports.
+        the process lifetime.  Ownership policy: *well-known service
+        addresses only*.  Interning an ephemeral reply port
+        (``label.N``, minted per request by ``ephemeral_endpoint``)
+        raises ValueError, and the table hard-fails with RuntimeError
+        at INTERN_MAX rather than grow without bound.
         """
         key = (self.host, self.port)
         canonical = Endpoint._interned.get(key)
         if canonical is None:
-            Endpoint._interned[key] = self
+            if _is_ephemeral_port(self.port):
+                raise ValueError(
+                    f"refusing to intern ephemeral reply port {self}: "
+                    f"interned endpoints live for the process lifetime; "
+                    f"per-request addresses must stay uninterned"
+                )
+            if len(Endpoint._interned) >= INTERN_MAX:
+                raise RuntimeError(
+                    f"endpoint intern table reached INTERN_MAX "
+                    f"({INTERN_MAX}); interning is for well-known "
+                    f"service addresses, not per-request state"
+                )
+            # Policy-bounded: ephemeral ports rejected above, hard cap
+            # enforced; one entry per well-known service address.
+            Endpoint._interned[key] = self  # repro: noqa mem-instance-registry
             canonical = self
         return canonical
 
     @classmethod
     def parse(cls, text: str) -> "Endpoint":
-        """Parse ``"host:port"`` into the canonical (interned) Endpoint.
+        """Parse ``"host:port"`` into an Endpoint, via bounded caches.
 
         Contact strings are parsed over and over (every RSL request
-        names its target), so the result is interned: parsing the same
-        text twice returns the same instance.
+        names its target).  A canonical interned instance is returned
+        when one exists; other addresses are memoized in a bounded LRU
+        cache, so parse never pins request-supplied strings for the
+        process lifetime.  Either way, repeated parses of the same text
+        usually return the same instance — but callers may rely only on
+        *equality*, not identity.
         """
         host, sep, port = text.partition(":")
         if not sep or not host or not port:
             raise ValueError(f"invalid endpoint {text!r}; expected 'host:port'")
-        return cls(host, port).intern()
+        canonical = cls._interned.get((host, port))
+        if canonical is not None:
+            return canonical
+        cache = cls._parse_cache
+        if cache is None:
+            from repro.core.bounded import BoundedDict
+
+            cache = cls._parse_cache = BoundedDict(PARSE_CACHE_MAX)
+        cached = cache.peek(text)
+        if cached is None:
+            cached = cls(host, port)
+        # Insert (or refresh recency) so hot contact strings stay cached.
+        cache[text] = cached
+        return cached

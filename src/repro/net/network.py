@@ -155,7 +155,10 @@ class Network:
 
     def add_host(self, name: str) -> None:
         """Register a host name (idempotent)."""
-        self._hosts.add(name)
+        # Topology-bounded: one entry per machine in the grid, and
+        # crash/partition faults mark hosts down rather than remove
+        # them.
+        self._hosts.add(name)  # repro: noqa mem-grow-only-attr
 
     def has_host(self, name: str) -> bool:
         return name in self._hosts
@@ -220,6 +223,16 @@ class Network:
             box = Store(self.env)
             self._mailboxes[endpoint] = box
         return box
+
+    def unbind(self, endpoint: Endpoint) -> None:
+        """Drop an endpoint's mailbox (idempotent).
+
+        Messages already in flight to it are counted as drops on
+        arrival ("unbound"), exactly as if it had never been bound —
+        call it when a per-request reply port is done so a long-running
+        service does not retain one mailbox per request ever served.
+        """
+        self._mailboxes.pop(endpoint, None)
 
     def mailbox(self, endpoint: Endpoint) -> Store:
         """The mailbox for a bound endpoint (error if unbound)."""

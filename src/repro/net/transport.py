@@ -90,5 +90,17 @@ class Port:
         """Number of messages waiting in the mailbox."""
         return len(self.mailbox)
 
+    def close(self) -> None:
+        """Unbind this port's mailbox from the network (idempotent).
+
+        After close, in-flight messages addressed here are dropped as
+        "unbound" on arrival.  Ephemeral reply ports should be closed
+        once their RPC concludes so long-lived services do not retain a
+        mailbox per request ever served; callers that deliberately
+        leave ports open to collect late replies (and keep drop counts
+        unchanged) simply never call it.
+        """
+        self.network.unbind(self.endpoint)
+
     def __repr__(self) -> str:
         return f"<Port {self.endpoint}>"

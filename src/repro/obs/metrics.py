@@ -343,7 +343,10 @@ class MetricsRegistry:
     ) -> Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = self._instruments[name] = factory()
+            # Code-bounded: one entry per metric *name*, and names are
+            # string literals at instrumentation sites, not request
+            # data.
+            instrument = self._instruments[name] = factory()  # repro: noqa mem-grow-only-attr
         elif not isinstance(instrument, cls):
             raise TypeError(
                 f"metric {name!r} is a {type(instrument).__name__}, "

@@ -42,7 +42,13 @@ import heapq
 import json
 import sys
 from pathlib import Path
-from typing import Any, Iterator, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Iterator, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    # Imported lazily at construction time: repro.core's package init
+    # reaches repro.net, which imports this module's package — a
+    # module-level import here would close that cycle.
+    from repro.core.bounded import BoundedDict
 
 from repro.obs.export import (
     FORMAT_VERSION,
@@ -69,6 +75,12 @@ DEFAULT_LABEL_KEYS: tuple[str, ...] = ("tenant", "job")
 #: Default bound on records buffered by the incremental exporter.
 DEFAULT_BUFFER_SIZE = 1024
 
+#: Bound on cached per-trace state (sampling decisions, id→path
+#: indexes).  LRU over trace ids: both caches are recomputable-or-
+#: degradable for evicted traces, and the bound comfortably exceeds
+#: the number of traces concurrently open in any workload.
+TRACE_CACHE_MAX = 4096
+
 
 class TraceSampler:
     """Deterministic head-based trace sampling: 1-in-``keep_one_in``.
@@ -82,11 +94,18 @@ class TraceSampler:
     """
 
     def __init__(self, keep_one_in: int, seed: int = 0) -> None:
+        from repro.core.bounded import BoundedDict
+
         if keep_one_in < 1:
             raise ValueError(f"keep_one_in must be >= 1, got {keep_one_in!r}")
         self.keep_one_in = int(keep_one_in)
         self.seed = int(seed)
-        self._decisions: dict[str, bool] = {}
+        #: Decision memo.  Bounded LRU: the decision is a pure function
+        #: of (seed, trace_id), so an evicted entry is recomputed to
+        #: the identical value — the cache only saves the digest.
+        self._decisions: "BoundedDict[str, bool]" = BoundedDict(
+            TRACE_CACHE_MAX
+        )
 
     def keep(self, trace_id: Optional[str]) -> bool:
         """Whether the trace is in the kept set (cached per trace id)."""
@@ -129,8 +148,15 @@ class AggregatingSink(SpanSink):
         label_keys: Sequence[str] = DEFAULT_LABEL_KEYS,
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> None:
+        from repro.core.bounded import BoundedDict
+
         self.label_keys = tuple(label_keys)
-        self._paths: dict[str, dict[int, str]] = {}
+        #: Per-trace id→path index, LRU-bounded over trace ids.  The
+        #: bound far exceeds concurrently-open traces; spans of a trace
+        #: old enough to be evicted fold under their bare name.
+        self._paths: "BoundedDict[str, dict[int, str]]" = BoundedDict(
+            TRACE_CACHE_MAX
+        )
         self._durations = Histogram(
             "obs.path_duration", "span durations by path", buckets
         )
@@ -172,7 +198,11 @@ class AggregatingSink(SpanSink):
 
     def on_mark(self, mark: Mark) -> bool:
         self._mark_count += 1
-        self._mark_names[mark.name] = self._mark_names.get(mark.name, 0) + 1
+        # Code-bounded: keyed by mark *name* (one per instrumentation
+        # site), not per occurrence.
+        self._mark_names[mark.name] = (  # repro: noqa mem-grow-only-attr
+            self._mark_names.get(mark.name, 0) + 1
+        )
         return False
 
     # -- folding -----------------------------------------------------------

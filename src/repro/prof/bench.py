@@ -55,6 +55,8 @@ SNAPSHOT_COUNTERS = (
     "net.delivery_slots",
     "queue.calendar.high_water",
     "ref.sim.heap_high_water",
+    "mem.retained_high_water",
+    "ref.mem.retained_high_water",
 )
 
 
@@ -552,6 +554,181 @@ def _run_kernel_scale(seed: int) -> Profile:
     )
 
 
+#: memory_stress workload shape (~10⁵ events of per-request state
+#: churn): enough distinct submissions/sessions/reply ports for the
+#: retained-object high-water mark to separate unbounded dicts from the
+#: bounded collections, small enough to run in seconds under CI.
+_MEMSTRESS_CLIENTS = 300
+_MEMSTRESS_ROUNDS = 60
+_MEMSTRESS_DEDUP_MAX = 1024
+_MEMSTRESS_SESSION_TTL = 5.0
+_MEMSTRESS_ROUND_PAUSE = 1.0
+
+
+def _memory_stress_run(seed: int, bounded: bool, probes: Sequence = ()):
+    """Run the retained-state churn workload.
+
+    Returns ``(env, counters, dedup_table, phase_end)``.
+
+    A long-lived *frontdoor* service handles a churn of one-shot
+    requests — the per-request state pattern the ``mem-*`` lints
+    police, below the protocol layers:
+
+    * **submission dedup** — every client sends each submission twice
+      (first copy, then an immediate retransmit); the frontdoor answers
+      the duplicate from its dedup table.  One table entry per distinct
+      submission: ``clients × rounds`` of them over the run.
+    * **session touches** — each handled request stamps a write-only
+      per-submission session token (never read back, so expiry cannot
+      change behaviour) — the TTL showcase.
+    * **ephemeral reply ports** — each client round binds a fresh reply
+      port and, in the bounded configuration, closes it after its acks
+      arrive (``Port.close`` → ``Network.unbind``).
+
+    With ``bounded=False`` the tables are plain dicts and ports are
+    never closed (the unremediated service); with ``bounded=True`` the
+    dedup table is an LRU :class:`~repro.core.bounded.BoundedDict`, the
+    session table adds a simulated-clock TTL, and ports are closed.  A
+    :class:`~repro.core.bounded.RetainedCensus` over the tables and the
+    mailbox registry reports the retained high-water through the probe
+    seam after every handled request.  The workload draws no random
+    numbers and the dedup bound exceeds the retransmit window, so both
+    configurations produce byte-identical event traces — asserted via
+    :class:`_TraceSignature` in the scenario wrapper.
+    """
+    from repro.core.bounded import BoundedDict, RetainedCensus
+    from repro.net.address import Endpoint
+    from repro.net.message import Message
+    from repro.net.network import Network
+    from repro.net.transport import Port
+    from repro.prof.counters import OpCounters
+    from repro.simcore.environment import Environment
+    from repro.simcore.probe import FanoutProbe
+
+    env = Environment()
+    counters = OpCounters()
+    if probes:
+        env.probe = FanoutProbe([counters, *probes])
+    else:
+        env.probe = counters
+    network = Network(env)
+    network.add_host("edge")
+    network.add_host("core")
+    frontdoor = Endpoint("core", "frontdoor")
+    frontdoor_box = network.bind(frontdoor)
+
+    submissions: Any
+    sessions: Any
+    if bounded:
+        submissions = BoundedDict(_MEMSTRESS_DEDUP_MAX)
+        sessions = BoundedDict(
+            _MEMSTRESS_DEDUP_MAX,
+            ttl=_MEMSTRESS_SESSION_TTL,
+            clock=lambda: env.now,
+        )
+    else:
+        submissions = {}
+        sessions = {}
+    census = RetainedCensus(env)
+    census.register(submissions)
+    census.register(sessions)
+    census.register(network._mailboxes)
+    phase_end = {"churn": 0.0}
+
+    def frontdoor_server(env):
+        while True:
+            message = yield frontdoor_box.get()
+            sub_id = message.payload
+            sessions[sub_id] = env.now  # write-only: expiry is invisible
+            cached = submissions.get(sub_id)
+            if cached is None:
+                outcome = "accepted"
+                submissions[sub_id] = outcome
+            else:
+                outcome = "duplicate"
+            network.send(Message(
+                src=frontdoor, dst=message.reply_to,
+                kind="ack", payload=(sub_id, outcome),
+            ))
+            census.observe()
+
+    def client(env, idx):
+        for round_no in range(_MEMSTRESS_ROUNDS):
+            # Deterministic per-round reply port (module-global
+            # ephemeral counters would make the two configurations'
+            # port names — and trace digests — diverge).
+            endpoint = Endpoint("edge", f"reply.c{idx}.r{round_no}")
+            port = Port(network, endpoint)
+            sub_id = f"sub-{idx}-{round_no}"
+            # First copy, then an immediate retransmit: the dedup
+            # window one LRU bound must cover.
+            for _ in range(2):
+                port.send(frontdoor, "submit", payload=sub_id,
+                          reply_to=endpoint)
+                yield port.recv()
+            if bounded:
+                port.close()
+            phase_end["churn"] = max(phase_end["churn"], env.now)
+            yield env.timeout(_MEMSTRESS_ROUND_PAUSE)
+
+    env.process(frontdoor_server(env), name="frontdoor")
+    for idx in range(_MEMSTRESS_CLIENTS):
+        env.process(client(env, idx), name=f"client-{idx}")
+
+    env.run()
+    return env, counters, submissions, phase_end
+
+
+def _run_memory_stress(seed: int) -> Profile:
+    """The retained-memory proof gate: bounded vs. unbounded state.
+
+    Runs the churn workload twice — unbounded reference (reported under
+    ``ref.*``) and bounded collections (the headline, plain counters) —
+    asserts the two event traces are byte-identical (bounding is
+    behaviour-invisible on this workload) and that the bounded
+    configuration's ``mem.retained_high_water`` is strictly below the
+    reference's, then pins both sides in the baseline for the CI gate.
+    """
+    from repro.simcore.tracing import Tracer
+
+    ref_sig = _TraceSignature()
+    _ref_env, ref_counters, _ref_dedup, _ = _memory_stress_run(
+        seed, bounded=False, probes=(ref_sig,)
+    )
+    sig = _TraceSignature()
+    env, counters, dedup, phase_end = _memory_stress_run(
+        seed, bounded=True, probes=(sig,)
+    )
+    if ref_sig.hexdigest() != sig.hexdigest():
+        raise ReproError(
+            "memory_stress: event traces diverged between unbounded and "
+            "bounded collections on the same workload — bounding must be "
+            "trace-invisible"
+        )
+    ref = ref_counters.snapshot()
+    snap = counters.snapshot()
+    if snap["mem.retained_high_water"] >= ref["mem.retained_high_water"]:
+        raise ReproError(
+            "memory_stress: bounded collections did not reduce the "
+            f"retained-object high-water mark "
+            f"({snap['mem.retained_high_water']:g} vs reference "
+            f"{ref['mem.retained_high_water']:g})"
+        )
+    for key, value in sorted(ref.items()):
+        snap[f"ref.{key}"] = value
+    for name, stat in sorted(dedup.stats().items()):
+        snap[f"mem.dedup.{name}"] = float(stat)
+
+    tracer = Tracer(env)
+    root = tracer.record("memory_stress", 0.0, env.now)
+    tracer.record("submission_churn", 0.0, phase_end["churn"], parent=root)
+    return profile_spans(
+        tracer.spans,
+        counters=snap,
+        meta=_meta("memory_stress", seed),
+    )
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -592,6 +769,12 @@ SCENARIOS: dict[str, Scenario] = {
             "burst storm + timer churn at ~2e5 events under every queue "
             "implementation: trace-identity and high-water proof gate",
             _run_kernel_scale,
+        ),
+        Scenario(
+            "memory_stress",
+            "per-request state churn (~1e5 events) under unbounded vs "
+            "bounded collections: retained-memory proof gate",
+            _run_memory_stress,
         ),
     )
 }

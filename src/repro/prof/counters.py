@@ -42,6 +42,9 @@ class OpCounters(Probe):
         #: Peak span/mark records held by a sinked tracer (0 when the
         #: run used retain-all tracing, which does not self-meter).
         self.spans_retained_high_water = 0
+        #: Peak entries across census-registered long-lived collections
+        #: (0 when the run takes no RetainedCensus observations).
+        self.retained_high_water = 0
 
     # -- probe hooks -------------------------------------------------------
 
@@ -66,14 +69,20 @@ class OpCounters(Probe):
         if count > self.spans_retained_high_water:
             self.spans_retained_high_water = count
 
+    def on_retained(self, count: int) -> None:
+        if count > self.retained_high_water:
+            self.retained_high_water = count
+
     # -- export ------------------------------------------------------------
 
     def snapshot(self) -> dict[str, float]:
         """The counts under their profile counter names.
 
         ``obs.spans_retained_high_water`` appears only when a sinked
-        tracer actually reported (retain-all runs never do), keeping
-        the snapshots of every pre-existing scenario byte-stable.
+        tracer actually reported (retain-all runs never do), and
+        ``mem.retained_high_water`` only when a RetainedCensus did,
+        keeping the snapshots of every pre-existing scenario
+        byte-stable.
         """
         snap = {
             "sim.events_processed": float(self.events_processed),
@@ -87,6 +96,8 @@ class OpCounters(Probe):
             snap["obs.spans_retained_high_water"] = float(
                 self.spans_retained_high_water
             )
+        if self.retained_high_water:
+            snap["mem.retained_high_water"] = float(self.retained_high_water)
         return snap
 
     def __repr__(self) -> str:

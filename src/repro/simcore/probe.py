@@ -62,6 +62,17 @@ class Probe:
         store it directly as a high-water mark.
         """
 
+    def on_retained(self, count: int) -> None:
+        """A heap census's retained-object count reached a new peak.
+
+        Reported by a :class:`~repro.core.bounded.RetainedCensus` only
+        when ``count`` exceeds every earlier census, so probes can
+        store it directly as a high-water mark (the ``mem-*`` analogue
+        of :meth:`on_spans_retained`, one layer down: live *entries*
+        across registered long-lived collections rather than span
+        records).
+        """
+
 
 class FanoutProbe(Probe):
     """Dispatches every hook to several probes, in installation order.
@@ -111,6 +122,10 @@ class FanoutProbe(Probe):
     def on_spans_retained(self, count: int) -> None:
         for probe in self.probes:
             probe.on_spans_retained(count)
+
+    def on_retained(self, count: int) -> None:
+        for probe in self.probes:
+            probe.on_retained(count)
 
 
 def probe_of(env: "Environment") -> Optional[Probe]:

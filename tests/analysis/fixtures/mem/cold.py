@@ -1,0 +1,37 @@
+"""Every mem pattern, in an unscoped module: nothing may fire."""
+
+import functools
+from collections import defaultdict
+
+_CACHE = {}
+
+
+class ColdTable:
+    _instances = []
+
+    def __init__(self):
+        self.items = {}
+        self.routes = defaultdict(list)
+        ColdTable._instances.append(self)
+
+    def put(self, key, value):
+        self.items[key] = value
+        _CACHE[key] = value
+
+
+class ColdSubscriber:
+    def __init__(self, bus):
+        bus.on("job", self.handle)
+
+    def handle(self, event):
+        return event
+
+
+@functools.cache
+def cold_memo(name):
+    return name.lower()
+
+
+def cold_default(item, queue=[]):
+    queue.append(item)
+    return queue

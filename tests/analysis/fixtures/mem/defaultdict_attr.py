@@ -1,0 +1,30 @@
+"""mem-defaultdict-attr fixtures: read paths that create entries."""
+
+from collections import defaultdict
+
+
+class RouteTable:  # repro: longlived
+    def __init__(self):
+        self.routes = defaultdict(list)  # positive: no shrink site
+
+    def lookup(self, host):
+        return self.routes[host]
+
+
+class PrunedRouteTable:  # repro: longlived
+    def __init__(self):
+        self.routes = defaultdict(list)  # negative: prune() shrinks
+
+    def lookup(self, host):
+        return self.routes[host]
+
+    def prune(self, host):
+        self.routes.pop(host, None)
+
+
+class AuditedRouteTable:  # repro: longlived
+    def __init__(self):
+        self.counts = defaultdict(int)  # repro: noqa mem-defaultdict-attr
+
+    def bump(self, host):
+        self.counts[host] += 1

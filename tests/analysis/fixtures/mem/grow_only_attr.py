@@ -1,0 +1,54 @@
+"""mem-grow-only-attr fixtures: grow-only instance containers."""
+
+from repro.core.bounded import BoundedDict
+
+
+class SessionTable:  # repro: longlived
+    def __init__(self):
+        self.sessions = {}
+        self.audit = []
+
+    def open(self, sid, info):
+        self.sessions[sid] = info  # positive: no shrink site anywhere
+
+    def note(self, line):
+        self.audit.append(line)  # positive: append-only log
+
+
+class PairedTable:  # repro: longlived
+    def __init__(self):
+        self.sessions = {}
+
+    def open(self, sid, info):
+        self.sessions[sid] = info  # negative: close() below shrinks
+
+    def close(self, sid):
+        self.sessions.pop(sid, None)
+
+
+class BoundedTable:  # repro: longlived
+    def __init__(self):
+        self.recent = BoundedDict(64)
+
+    def open(self, sid, info):
+        self.recent[sid] = info  # negative: bounded by construction
+
+
+class SwappingTable:  # repro: longlived
+    def __init__(self):
+        self.pending = []
+
+    def enqueue(self, item):
+        self.pending.append(item)  # negative: drain() reassigns
+
+    def drain(self):
+        drained, self.pending = self.pending, []
+        return drained
+
+
+class AuditedTable:  # repro: longlived
+    def __init__(self):
+        self.jobs = []
+
+    def submit(self, job):
+        self.jobs.append(job)  # repro: noqa mem-grow-only-attr

@@ -1,0 +1,28 @@
+"""mem-instance-registry fixtures: constructors that pin every instance."""
+
+
+class Widget:  # repro: longlived
+    _instances = []
+
+    def __init__(self, name):
+        self.name = name
+        Widget._instances.append(self)  # positive: never removed
+
+
+class TrackedWidget:  # repro: longlived
+    _instances = []
+
+    def __init__(self, name):
+        self.name = name
+        TrackedWidget._instances.append(self)  # negative: dispose() removes
+
+    def dispose(self):
+        TrackedWidget._instances.remove(self)
+
+
+class AuditedWidget:  # repro: longlived
+    _instances = []
+
+    def __init__(self, name):
+        self.name = name
+        AuditedWidget._instances.append(self)  # repro: noqa mem-instance-registry

@@ -1,0 +1,42 @@
+"""mem-module-cache fixtures: class-level caches grown via cls/ClassName."""
+
+from repro.core.bounded import BoundedDict
+
+
+class Resolver:  # repro: longlived
+    _cache = {}  # positive: grown below, never shrunk or bounded
+
+    @classmethod
+    def resolve(cls, name):
+        value = name.upper()
+        cls._cache[name] = value
+        return value
+
+
+class EvictingResolver:  # repro: longlived
+    _table = {}  # negative: evicted below
+
+    @classmethod
+    def resolve(cls, name):
+        cls._table[name] = name.upper()
+        if len(cls._table) > 64:
+            cls._table.pop(next(iter(cls._table)))
+        return cls._table[name]
+
+
+class BoundedResolver:  # repro: longlived
+    _recent = BoundedDict(16)  # negative: bounded by construction
+
+    @classmethod
+    def resolve(cls, name):
+        cls._recent[name] = name.upper()
+        return cls._recent[name]
+
+
+class AuditedResolver:  # repro: longlived
+    _seen = {}  # repro: noqa mem-module-cache
+
+    @classmethod
+    def resolve(cls, name):
+        cls._seen[name] = name.upper()
+        return cls._seen[name]

@@ -1,0 +1,26 @@
+"""mem-mutable-default fixtures: shared default objects mutated per call."""
+
+
+def enqueue(item, queue=[]):  # repro: longlived
+    queue.append(item)  # positive: default list shared across calls
+    return queue
+
+
+def tally(name, *, counts={}):  # repro: longlived
+    counts[name] = counts.get(name, 0) + 1  # positive: kwonly dict default
+    return counts
+
+
+def describe(names=[]):  # repro: longlived
+    return ", ".join(names)  # negative: default never mutated
+
+
+def append_safe(item, queue=None):  # repro: longlived
+    queue = [] if queue is None else queue
+    queue.append(item)  # negative: None default, per-call allocation
+    return queue
+
+
+def audit(entry, log=[]):  # repro: longlived  # repro: noqa mem-mutable-default
+    log.append(entry)
+    return log

@@ -1,0 +1,29 @@
+"""mem-unbounded-memo fixtures: functools memoization without a bound."""
+
+import functools
+from functools import lru_cache
+
+
+@functools.cache
+def canonical(name):  # repro: longlived
+    return name.lower()  # positive: @cache memoizes forever
+
+
+@lru_cache(maxsize=None)
+def normalize(name):  # repro: longlived
+    return name.strip()  # positive: explicit maxsize=None
+
+
+@lru_cache(maxsize=256)
+def shorten(name):  # repro: longlived
+    return name[:16]  # negative: finite maxsize
+
+
+@lru_cache()
+def head(name):  # repro: longlived
+    return name[:1]  # negative: default maxsize is 128
+
+
+@functools.cache  # repro: noqa mem-unbounded-memo
+def intern_small(name):  # repro: longlived
+    return name

@@ -1,0 +1,51 @@
+"""mem-unpaired-register fixtures: registrations without a release path."""
+
+
+def record(event, handler):
+    return (event, handler)
+
+
+def erase(event, handler):
+    return (event, handler)
+
+
+class Subscriber:  # repro: longlived
+    def __init__(self, bus):
+        self.bus = bus
+        self.bus.on("job", self.handle)  # positive: no off() on self.bus
+
+    def handle(self, event):
+        return event
+
+
+class PoliteSubscriber:  # repro: longlived
+    def __init__(self, bus):
+        self.bus = bus
+        self.bus.on("job", self.handle)  # negative: detach() pairs it
+
+    def handle(self, event):
+        return event
+
+    def detach(self):
+        self.bus.off("job", self.handle)
+
+
+class Forwarder:  # repro: longlived
+    def on(self, event, handler):  # positive: defines on() but no off()
+        record(event, handler)
+
+
+class PairedForwarder:  # repro: longlived
+    def on(self, event, handler):  # negative: off() below pairs it
+        record(event, handler)
+
+    def off(self, event, handler):
+        erase(event, handler)
+
+
+class AuditedSubscriber:  # repro: longlived
+    def __init__(self, bus):
+        bus.on("job", self.handle)  # repro: noqa mem-unpaired-register
+
+    def handle(self, event):
+        return event

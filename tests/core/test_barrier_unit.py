@@ -131,6 +131,20 @@ class TestBarrierManager:
         configs = manager.build_config([1])
         assert manager.release_slot(1, configs[1]) == 1  # only the ok one
 
+    def test_discard_drops_release_base(self, setup):
+        env, net, port, manager = setup
+        manager.open_table(1, 1)
+        p0 = Port(net, Endpoint("m", "v0"))
+        manager.record(Checkin(1, 0, True, None, p0.endpoint, 0.0))
+        configs = manager.build_config([1])
+        manager.release_slot(1, configs[1])
+        assert 1 in manager._release_base
+        manager.discard_table(1)
+        # Discarding a slot retires *all* its retained state — table
+        # and stored release payload — not just the check-in table.
+        assert 1 not in manager.tables
+        assert 1 not in manager._release_base
+
 
 class TestCallbackDispatcher:
     def test_event_specific_and_catch_all(self):
@@ -144,7 +158,7 @@ class TestCallbackDispatcher:
         dispatcher.emit(n2)
         assert specific == [n1]
         assert everything == [n1, n2]
-        assert dispatcher.log == [n1, n2]
+        assert list(dispatcher.log) == [n1, n2]
 
     def test_events_query(self):
         dispatcher = CallbackDispatcher()
@@ -168,3 +182,36 @@ class TestCallbackDispatcher:
         n2 = Notification(DurocEvent.REQUEST_RELEASED, 1.0)
         dispatcher.emit(n2)
         assert n2 in seen
+
+    def test_off_removes_one_registration(self):
+        dispatcher = CallbackDispatcher()
+        seen = []
+        dispatcher.on(DurocEvent.SUBJOB_CHECKIN, seen.append)
+        dispatcher.on(DurocEvent.SUBJOB_CHECKIN, seen.append)  # twice
+        dispatcher.off(DurocEvent.SUBJOB_CHECKIN, seen.append)
+        n = Notification(DurocEvent.SUBJOB_CHECKIN, 0.0)
+        dispatcher.emit(n)
+        assert seen == [n]  # one registration survives
+        dispatcher.off(DurocEvent.SUBJOB_CHECKIN, seen.append)
+        dispatcher.emit(Notification(DurocEvent.SUBJOB_CHECKIN, 1.0))
+        assert seen == [n]
+        # Fully drained keys leave the handler table entirely.
+        assert DurocEvent.SUBJOB_CHECKIN not in dispatcher._handlers
+
+    def test_off_unknown_handler_is_a_noop(self):
+        dispatcher = CallbackDispatcher()
+        dispatcher.off(DurocEvent.SUBJOB_FAILED, lambda n: None)
+        dispatcher.on(None, lambda n: None)
+        dispatcher.off(None, lambda n: None)  # different lambda object
+        assert None in dispatcher._handlers
+
+    def test_log_is_bounded(self):
+        dispatcher = CallbackDispatcher(log_max=3)
+        notes = [
+            Notification(DurocEvent.REQUEST_RELEASED, float(i))
+            for i in range(5)
+        ]
+        for note in notes:
+            dispatcher.emit(note)
+        # Only the most recent log_max notifications are retained.
+        assert list(dispatcher.log) == notes[-3:]

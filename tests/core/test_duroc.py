@@ -436,6 +436,11 @@ class TestEditing:
         job, result = drive(grid, agent(grid.env))
         assert result.sizes == (1, 4)
         assert job.slots[2].state is SubjobState.DELETED
+        # The retired slot keeps its stable label in job.slots but
+        # leaves the live-slot index.
+        live = set(job._slot_by_id.values())
+        assert job.slots[2] not in live
+        assert {job.slots[0], job.slots[1]} <= live
 
     def test_deleted_subjobs_processes_are_terminated(self, grid):
         duroc = grid.duroc()

@@ -132,3 +132,26 @@ class TestGatekeeperPing:
 
         payload = env.run(env.process(scenario(env)))
         assert payload == {"contact": "origin:gatekeeper"}
+
+
+class TestGatekeeperRetention:
+    def test_request_tables_are_bounded(self):
+        from repro.core.bounded import BoundedDict
+        from repro.gram.gatekeeper import RETAINED_JOBS_MAX
+
+        env = Environment()
+        net = Network(env)
+        site = Site(env, net, "s", nodes=4,
+                    ca=CertificateAuthority(), programs={})
+        gatekeeper = site.gatekeeper
+        # Per-request state is LRU-bounded: neither handle table can
+        # outgrow the in-flight retry window, whatever the run length.
+        assert isinstance(gatekeeper.job_managers, BoundedDict)
+        assert isinstance(gatekeeper._submissions, BoundedDict)
+        for index in range(RETAINED_JOBS_MAX + 10):
+            gatekeeper._submissions[f"sub{index}"] = {"job_id": index}
+        assert len(gatekeeper._submissions) == RETAINED_JOBS_MAX
+        # The freshest ids (the only ones still in a retry window)
+        # survive; the stalest were evicted.
+        assert "sub0" not in gatekeeper._submissions
+        assert f"sub{RETAINED_JOBS_MAX + 9}" in gatekeeper._submissions

@@ -220,3 +220,94 @@ class TestMessage:
         m1 = Message(src=Endpoint("a", "c"), dst=Endpoint("b", "s"), kind="k")
         m2 = Message(src=Endpoint("a", "c"), dst=Endpoint("b", "s"), kind="k")
         assert m1.msg_id != m2.msg_id
+
+
+class TestPortClose:
+    def test_close_unbinds_the_mailbox(self, env, net):
+        sender = _port(net, "alpha", "client")
+        receiver = _port(net, "beta", "server")
+        receiver.close()
+        sender.send(receiver.endpoint, "ping")
+        env.run()
+        assert receiver.pending() == 0
+        assert net.dropped_count == 1  # lost as "unbound", like any stranger
+
+    def test_close_is_idempotent(self, net):
+        port = _port(net, "alpha", "client")
+        port.close()
+        port.close()
+
+    def test_close_after_reply_leaves_trace_unchanged(self, env, net):
+        # The ephemeral reply-port lifecycle: RPC concludes, port
+        # closes, nothing was in flight — so no drops, same deliveries.
+        client = _port(net, "alpha", "reply.c0.r0")
+        server = _port(net, "beta", "frontdoor")
+
+        def serve(env):
+            msg = yield server.recv()
+            server.send(msg.reply_to, "ack", payload=msg.payload)
+
+        def call(env):
+            client.send(server.endpoint, "submit", payload="s-1",
+                        reply_to=client.endpoint)
+            yield client.recv()
+            client.close()
+
+        env.process(serve(env))
+        env.process(call(env))
+        env.run()
+        assert net.dropped_count == 0
+        assert net.delivered_count == 2
+
+
+class TestEndpointRetention:
+    def test_intern_rejects_ephemeral_reply_port(self):
+        from repro.net.transport import ephemeral_endpoint
+
+        with pytest.raises(ValueError):
+            ephemeral_endpoint("alpha").intern()
+        with pytest.raises(ValueError):
+            Endpoint("alpha", "tmp.7").intern()
+
+    def test_intern_accepts_dotted_service_names(self):
+        # "jm.job3"-style names are not ephemeral: the tail is not all
+        # digits.  Clean up the table entry this test creates.
+        ep = Endpoint("alpha", "jm.job")
+        try:
+            assert ep.intern() is ep
+        finally:
+            Endpoint._interned.pop(("alpha", "jm.job"), None)
+
+    def test_intern_returns_one_canonical_instance(self):
+        try:
+            first = Endpoint("gamma", "svc").intern()
+            second = Endpoint("gamma", "svc").intern()
+            assert second is first
+        finally:
+            Endpoint._interned.pop(("gamma", "svc"), None)
+
+    def test_intern_hard_fails_at_the_cap(self, monkeypatch):
+        from repro.net import address
+
+        monkeypatch.setattr(
+            address, "INTERN_MAX", len(Endpoint._interned)
+        )
+        with pytest.raises(RuntimeError):
+            Endpoint("delta", "svc").intern()
+
+    def test_parse_prefers_the_interned_canonical(self):
+        try:
+            canonical = Endpoint("epsilon", "svc").intern()
+            assert Endpoint.parse("epsilon:svc") is canonical
+        finally:
+            Endpoint._interned.pop(("epsilon", "svc"), None)
+
+    def test_parse_cache_is_bounded_and_equality_only(self):
+        from repro.net.address import PARSE_CACHE_MAX
+
+        for i in range(PARSE_CACHE_MAX + 64):
+            parsed = Endpoint.parse(f"host{i}:svc")
+            assert parsed == Endpoint(f"host{i}", "svc")
+        assert len(Endpoint._parse_cache) <= PARSE_CACHE_MAX
+        # Repeat parses agree by equality; identity is not promised.
+        assert Endpoint.parse("host0:svc") == Endpoint("host0", "svc")
