@@ -75,6 +75,9 @@ LONG_LIVED: dict[str, Optional[frozenset[str]]] = {
     # the SpanSink seam, documented in docs/OBSERVABILITY.md).
     "repro/obs/streaming.py": None,
     "repro/obs/metrics.py": frozenset({"MetricsRegistry"}),
+    # The always-on black box: observes every event for the whole run,
+    # so its rings and dump list must be provably bounded.
+    "repro/obs/flightrec.py": frozenset({"FlightRing", "FlightRecorder"}),
 }
 
 #: Method names that add entries to a container.

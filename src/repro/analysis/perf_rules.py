@@ -73,6 +73,16 @@ HOT_PATHS: dict[str, Optional[frozenset[str]]] = {
     "repro/simcore/tracing.py": frozenset(
         {"Span", "Mark", "TraceContext", "_OpenSpan", "_NullSpan"}
     ),
+    # The flight recorder rides every kernel/message/span hook; its
+    # records are allocated per observation and its ring push runs at
+    # event rate.
+    "repro/obs/flightrec.py": frozenset(
+        {"KernelRecord", "MessageRecord", "ProtoRecord", "SpanRecord",
+         "FlightRing.push", "FlightRecorder.on_schedule",
+         "FlightRecorder.on_step", "FlightRecorder._message_op",
+         "FlightRecorder.on_send", "FlightRecorder.on_deliver",
+         "FlightRecorder.on_drop", "FlightRecorder._local_msg_id"}
+    ),
 }
 
 #: Base-class names marking a class as an event/message-like record —

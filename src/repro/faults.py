@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 import numpy as np
 
 from repro.errors import FaultSpecError
+from repro.simcore.probe import emit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.host import Machine
@@ -108,7 +109,7 @@ class HostCrash(FaultSpec):
             def revert() -> None:
                 network.restore_host(self.host)
         return target.spawn(
-            _window(target.env, self.at, self.duration, apply, revert),
+            _window(target.env, self.at, self.duration, apply, revert, self),
             f"fault.crash:{self.host}",
         )
 
@@ -159,7 +160,7 @@ class Overload(FaultSpec):
             machine.load_factor = state.get("previous", 1.0)
 
         return target.spawn(
-            _window(target.env, self.at, self.duration, apply, revert),
+            _window(target.env, self.at, self.duration, apply, revert, self),
             f"fault.load:{self.host}",
         )
 
@@ -204,6 +205,7 @@ class Partition(FaultSpec):
                 self.duration,
                 lambda: network.partition(self.groups),
                 network.heal_partition,
+                self,
             ),
             "fault.partition",
         )
@@ -271,6 +273,7 @@ class MessageLoss(FaultSpec):
                 self.duration,
                 lambda: network.add_drop_rule(rule),
                 lambda: network.remove_drop_rule(rule),
+                self,
             ),
             "fault.loss",
         )
@@ -326,7 +329,7 @@ class SlowLink(FaultSpec):
                 model.set_latency(self.src, self.dst, previous)
 
         return target.spawn(
-            _window(target.env, self.at, self.duration, apply, revert),
+            _window(target.env, self.at, self.duration, apply, revert, self),
             f"fault.slowlink:{self.src}-{self.dst}",
         )
 
@@ -336,14 +339,33 @@ class SlowLink(FaultSpec):
 # ---------------------------------------------------------------------------
 
 
-def _window(env: "Environment", at: float, duration: Optional[float], apply, revert):
-    """Driver process: apply the fault at ``at``, revert after ``duration``."""
+def _window(
+    env: "Environment",
+    at: float,
+    duration: Optional[float],
+    apply,
+    revert,
+    spec: "Optional[FaultSpec]" = None,
+):
+    """Driver process: apply the fault at ``at``, revert after ``duration``.
+
+    Activation and reversal are reported to the installed probe
+    (``fault.apply`` / ``fault.revert`` on the ``faults`` locus) so
+    observers — the verification recorder, the flight recorder's
+    :class:`~repro.obs.flightrec.OnFault` trigger — see exactly when
+    each declared fault took effect.  Emission is observation-only and
+    changes nothing without a probe.
+    """
     if at > env.now:
         yield env.timeout(at - env.now)
     apply()
+    if spec is not None:
+        emit(env, "faults", "fault.apply", **spec.describe())
     if duration is not None:
         yield env.timeout(duration)
         revert()
+        if spec is not None:
+            emit(env, "faults", "fault.revert", **spec.describe())
 
 
 @dataclass

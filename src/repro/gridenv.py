@@ -38,6 +38,7 @@ from repro.simcore.rng import RngRegistry
 from repro.simcore.tracing import NullTracer, SpanSink, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.flightrec import FlightRecorder
     from repro.prof.counters import OpCounters
     from repro.verify.recorder import Recorder
 
@@ -72,6 +73,7 @@ class Grid:
         client_host: str = CLIENT_HOST,
         recorder: "Optional[Recorder]" = None,
         counters: "Optional[OpCounters]" = None,
+        flightrec: "Optional[FlightRecorder]" = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -89,6 +91,9 @@ class Grid:
         #: The op-count probe observing this grid, if the builder
         #: attached one (see :meth:`GridBuilder.with_profiling`).
         self.counters = counters
+        #: The black-box flight recorder observing this grid, if the
+        #: builder attached one (see :mod:`repro.obs.flightrec`).
+        self.flightrec = flightrec
 
     # -- accessors -------------------------------------------------------------
 
@@ -256,6 +261,9 @@ class GridBuilder:
         :class:`~repro.obs.streaming.TelemetryPipeline` first.
         """
         for observer in observers:
+            # A dual-role observer (Probe *and* SpanSink, e.g. a
+            # FlightRecorder) registers in both seams.
+            matched = False
             if isinstance(observer, SpanSink):
                 if self._span_sink is not None and self._span_sink is not observer:
                     raise ReproError(
@@ -263,10 +271,12 @@ class GridBuilder:
                         "with repro.obs.streaming.TelemetryPipeline"
                     )
                 self._span_sink = observer
-            elif isinstance(observer, Probe):
+                matched = True
+            if isinstance(observer, Probe):
                 if observer not in self._probes:
                     self._probes.append(observer)
-            else:
+                matched = True
+            if not matched:
                 raise ReproError(
                     f"with_probe() takes Probe or SpanSink observers, "
                     f"got {observer!r}"
@@ -324,7 +334,9 @@ class GridBuilder:
         probes = self._probes
         recorder: "Optional[Recorder]" = None
         counters: "Optional[OpCounters]" = None
+        flightrec: "Optional[FlightRecorder]" = None
         if probes:
+            from repro.obs.flightrec import FlightRecorder
             from repro.prof.counters import OpCounters
             from repro.verify.recorder import Recorder
 
@@ -337,6 +349,8 @@ class GridBuilder:
                     recorder = probe
                 if counters is None and isinstance(probe, OpCounters):
                     counters = probe
+                if flightrec is None and isinstance(probe, FlightRecorder):
+                    flightrec = probe
         if len(probes) == 1:
             env.probe = probes[0]
         elif probes:
@@ -397,6 +411,7 @@ class GridBuilder:
             client_host=self.client_host,
             recorder=recorder,
             counters=counters,
+            flightrec=flightrec,
         )
         if self._faults:
             schedule_faults(env, grid, self._faults)

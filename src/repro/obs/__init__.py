@@ -13,8 +13,29 @@ Three pillars (see docs/OBSERVABILITY.md):
 - **Streaming** — :mod:`repro.obs.streaming` sinks behind the tracer's
   :class:`~repro.simcore.tracing.SpanSink` seam: deterministic trace
   sampling, bounded-memory aggregation, incremental JSONL export.
+- **Post-mortem** — :mod:`repro.obs.flightrec` rides the probe and
+  span-sink seams as an always-on black box: bounded ring buffers,
+  declarative failure triggers, canonical JSON dumps; rendered by
+  :mod:`repro.obs.blackbox` (``python -m repro.obs blackbox``).
 """
 
+from repro.obs.blackbox import diff_dumps, load_dump, merge_timeline
+from repro.obs.flightrec import (
+    DEFAULT_TRIGGERS,
+    FLIGHT_FORMAT,
+    FlightRecorder,
+    FlightRing,
+    OnAbort,
+    OnBreakerOpen,
+    OnFault,
+    OnPredicate,
+    OnProcessFailure,
+    OnRetryExhausted,
+    Trigger,
+    dump_digest,
+    dump_json,
+    write_dump,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NULL_METRICS,
@@ -40,15 +61,32 @@ __all__ = [
     "AggregatingSink",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_TRIGGERS",
+    "FLIGHT_FORMAT",
+    "FlightRecorder",
+    "FlightRing",
     "Gauge",
     "Histogram",
     "JsonlStreamSink",
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetricsRegistry",
+    "OnAbort",
+    "OnBreakerOpen",
+    "OnFault",
+    "OnPredicate",
+    "OnProcessFailure",
+    "OnRetryExhausted",
     "TelemetryPipeline",
     "TraceSampler",
+    "Trigger",
     "WindowedRate",
     "aggregate_trace",
+    "diff_dumps",
+    "dump_digest",
+    "dump_json",
     "load_aggregate",
+    "load_dump",
+    "merge_timeline",
+    "write_dump",
 ]

@@ -8,10 +8,14 @@ Inspect trace and metrics exports produced by an instrumented run::
     python -m repro.obs summary results/quickstart_trace.jsonl
     python -m repro.obs metrics results/quickstart_metrics.json
     python -m repro.obs report results/telemetry_aggregate.json
+    python -m repro.obs blackbox results/flight_crash.json
+    python -m repro.obs blackbox a.json --diff b.json
 
 Exit status mirrors ``python -m repro.analysis``: 0 on success, 1 when
-the query found nothing to show (empty trace, unknown trace id) or the
-trace fails parentage validation, 2 on usage errors.
+the query found nothing to show (empty trace, unknown trace id), the
+trace fails parentage validation, or two diffed dumps differ, 2 on
+usage errors — including missing, malformed, or truncated input files,
+which always produce a one-line error rather than a traceback.
 """
 
 from __future__ import annotations
@@ -22,6 +26,13 @@ import sys
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
+from repro.obs.blackbox import (
+    diff_dumps,
+    load_dump,
+    merge_timeline,
+    render_diff,
+    render_timeline,
+)
 from repro.obs.export import TraceDump, load_jsonl, span_record
 from repro.obs.metrics import histogram_summary
 from repro.obs.query import (
@@ -117,6 +128,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=20, help="paths shown (default: 20)"
     )
 
+    blackbox = sub.add_parser(
+        "blackbox",
+        help="post-mortem timeline of a flight-recorder dump",
+    )
+    blackbox.add_argument(
+        "dump", help="flight dump (JSON) captured by repro.obs.flightrec"
+    )
+    blackbox.add_argument(
+        "--diff", default=None, metavar="OTHER",
+        help="compare against a second dump instead of rendering "
+        "(exit 1 when they differ)",
+    )
+    blackbox.add_argument(
+        "--window", type=float, default=None,
+        help="only records within this many simulated seconds "
+        "before the trigger",
+    )
+    blackbox.add_argument(
+        "--node", default=None,
+        help="only records naming this node (protocol events at it, "
+        "messages to or from it)",
+    )
+
     return parser
 
 
@@ -127,6 +161,17 @@ def _load(parser: argparse.ArgumentParser, path: str) -> TraceDump:
         return load_jsonl(path)
     except (ValueError, KeyError) as exc:
         parser.error(f"cannot parse {path}: {exc}")
+
+
+def _load_flight(
+    parser: argparse.ArgumentParser, path: str
+) -> dict[str, Any]:
+    if not Path(path).is_file():
+        parser.error(f"no such file: {path}")
+    try:
+        return load_dump(path)
+    except ValueError as exc:
+        parser.error(f"cannot load {path}: {exc}")
 
 
 def _pick_trace(
@@ -150,6 +195,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command is None:
         parser.error("a command is required (see --help)")
 
+    if args.command == "blackbox":
+        flight = _load_flight(parser, args.dump)
+        if args.diff is not None:
+            other = _load_flight(parser, args.diff)
+            diff = diff_dumps(flight, other)
+            if args.format == "json":
+                _emit(json.dumps(diff, sort_keys=True, indent=2))
+            else:
+                _emit(render_diff(diff))
+            return 0 if diff["identical"] else 1
+        entries = merge_timeline(flight, window=args.window, node=args.node)
+        if args.format == "json":
+            _emit(
+                json.dumps(
+                    {"trigger": flight["trigger"], "records": entries},
+                    sort_keys=True,
+                )
+            )
+        else:
+            _emit(render_timeline(flight, entries))
+        return 0 if entries else 1
+
     if args.command == "metrics":
         path = Path(args.snapshot)
         if not path.is_file():
@@ -158,6 +225,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             snapshot = json.loads(path.read_text())
         except json.JSONDecodeError as exc:
             parser.error(f"cannot parse {path}: {exc}")
+        metrics_map = (
+            snapshot.get("metrics", {}) if isinstance(snapshot, dict) else None
+        )
+        if not isinstance(metrics_map, dict) or not all(
+            isinstance(entry, dict) for entry in metrics_map.values()
+        ):
+            parser.error(f"{path}: not a metrics snapshot")
         if args.format == "json":
             _emit(json.dumps(_with_summaries(snapshot), sort_keys=True, indent=2))
         else:

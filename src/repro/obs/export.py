@@ -119,7 +119,15 @@ def load_jsonl(path: Union[str, Path]) -> TraceDump:
     for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
         if not line.strip():
             continue
-        record = json.loads(line)
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ValueError(
+                f"{path}:{lineno}: expected an object, got "
+                f"{type(record).__name__}"
+            )
         kind = record.get("record")
         if kind == "meta":
             continue

@@ -57,6 +57,7 @@ SNAPSHOT_COUNTERS = (
     "ref.sim.heap_high_water",
     "mem.retained_high_water",
     "ref.mem.retained_high_water",
+    "obs.flightrec_retained",
 )
 
 
@@ -225,6 +226,11 @@ def _kernel_stress_run(
 
     env = Environment(compact_cancelled=compact_cancelled, queue=queue)
     counters = OpCounters()
+    for probe in probes:
+        # Env-aware probes (e.g. a FlightRecorder) need the clock.
+        bind = getattr(probe, "bind", None)
+        if bind is not None:
+            bind(env)
     if probes:
         env.probe = FanoutProbe([counters, *probes])
     else:
@@ -729,6 +735,81 @@ def _run_memory_stress(seed: int) -> Profile:
     )
 
 
+def _run_blackbox_stress(seed: int) -> Profile:
+    """The flight recorder's proof gate: observation-only, byte-stable.
+
+    Runs the kernel stress workload three times —
+
+    1. **bare**: no recorder, trace digest only;
+    2. **recorded** (the headline): a :class:`~repro.obs.flightrec.
+       FlightRecorder` on both seams (probe fan-out and span sink) with
+       a predicate trigger tripping on every storm client's final pong
+       (40 trips against a dump cap of 8 — the suppression path runs at
+       event rate);
+    3. **recorded again**, for the dump-byte identity check;
+
+    and asserts (a) the recorded run's event stream is byte-identical
+    to the bare run (the observation-only contract) and (b) the two
+    recorded runs' first dumps are byte-identical (dumps are pure
+    functions of the observed stream).  The baseline pins
+    ``obs.flightrec_retained`` — the recorder's retained high-water
+    mark, which bounded rings keep flat no matter how many events flow
+    by — alongside the usual kernel counters.
+    """
+    from repro.obs.flightrec import FlightRecorder, OnPredicate, dump_json
+
+    def final_pong(op: str, message) -> Optional[str]:
+        if (
+            op == "deliver"
+            and message.kind == "pong"
+            and message.payload == _STRESS_TRIPS - 1
+        ):
+            return f"storm.final_pong:{message.dst}"
+        return None
+
+    def recorded_run():
+        recorder = FlightRecorder(
+            triggers=(OnPredicate(message=final_pong, name="final_pong"),)
+        )
+        sig = _TraceSignature()
+        tracer, counters = _kernel_stress_run(
+            seed, sink=recorder, trace_spans=True, probes=(recorder, sig)
+        )
+        return recorder, sig, tracer, counters
+
+    bare_sig = _TraceSignature()
+    _kernel_stress_run(seed, trace_spans=True, probes=(bare_sig,))
+    recorder, sig, tracer, counters = recorded_run()
+    recorder2, _sig2, _tracer2, _counters2 = recorded_run()
+
+    if sig.hexdigest() != bare_sig.hexdigest():
+        raise ReproError(
+            "blackbox_stress: the flight recorder perturbed the event "
+            "stream — probes must be observation-only"
+        )
+    if not recorder.dumps:
+        raise ReproError(
+            "blackbox_stress: the final-pong trigger never tripped"
+        )
+    if dump_json(recorder.dumps[0]) != dump_json(recorder2.dumps[0]):
+        raise ReproError(
+            "blackbox_stress: two identically seeded runs produced "
+            "different dump bytes — dumps must be pure functions of the "
+            "observed stream"
+        )
+
+    snap = counters.snapshot()
+    snap["obs.flightrec_retained"] = float(recorder.retained_high_water)
+    snap["obs.flightrec_records"] = float(recorder.records_observed)
+    snap["obs.flightrec_dumps"] = float(len(recorder.dumps))
+    snap["obs.flightrec_suppressed"] = float(recorder.dumps_suppressed)
+    return profile_spans(
+        tracer.spans,
+        counters=snap,
+        meta=_meta("blackbox_stress", seed),
+    )
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -775,6 +856,12 @@ SCENARIOS: dict[str, Scenario] = {
             "per-request state churn (~1e5 events) under unbounded vs "
             "bounded collections: retained-memory proof gate",
             _run_memory_stress,
+        ),
+        Scenario(
+            "blackbox_stress",
+            "kernel stress under the flight recorder: observation-only "
+            "and dump byte-identity proof gate",
+            _run_blackbox_stress,
         ),
     )
 }

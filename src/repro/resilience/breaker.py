@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.errors import CircuitOpen
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.resilience.states import BreakerPhase, check_breaker_transition
+from repro.simcore.probe import emit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simcore.environment import Environment
@@ -105,6 +106,13 @@ class CircuitBreaker:
         self.opened_at = self.env.now
         self.metrics.counter("resilience.breaker_trips_total").inc(
             endpoint=str(self.endpoint)
+        )
+        emit(
+            self.env,
+            str(self.endpoint),
+            "resilience.breaker_open",
+            endpoint=str(self.endpoint),
+            failures=self.failures,
         )
 
     def __repr__(self) -> str:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from repro.broker.interactive_agent import InteractiveAgent
@@ -30,6 +31,7 @@ from repro.resilience.policy import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.coallocator import Duroc
+    from repro.obs.flightrec import FlightRecorder
     from repro.prof.profile import Profile
     from repro.verify.recorder import Recorder
 
@@ -164,15 +166,20 @@ def run_trial(
     campaign: Campaign,
     seed: int,
     recorder: "Optional[Recorder]" = None,
+    flightrec: "Optional[FlightRecorder]" = None,
 ) -> dict[str, Any]:
     """One seeded trial of ``campaign``; returns its record.
 
     Pass a fresh :class:`~repro.verify.Recorder` to observe the trial
     under the runtime-verification monitors (``repro.verify`` does);
     recording never perturbs the trial, so the returned record is
-    byte-identical either way (tested).
+    byte-identical either way (tested).  Pass a fresh
+    :class:`~repro.obs.flightrec.FlightRecorder` to fly the black box:
+    the record gains a ``flight_dump`` field summarizing the first
+    triggered dump (trigger, reason, simulated time, canonical digest),
+    and the dumps themselves stay on ``flightrec.dumps``.
     """
-    grid = _build_grid(campaign, seed, recorder=recorder)
+    grid = _build_grid(campaign, seed, recorder=recorder, flightrec=flightrec)
     duroc, outcome, requested = _drive_trial(campaign, grid)
 
     metrics = grid.tracer.metrics
@@ -197,6 +204,20 @@ def run_trial(
         "failure": outcome.failure,
         "degradation": _classify(outcome, requested, released),
     }
+    if flightrec is not None:
+        from repro.obs.flightrec import dump_digest
+
+        if flightrec.dumps:
+            dump = flightrec.dumps[0]
+            record["flight_dump"] = {
+                "trigger": dump["trigger"]["trigger"],
+                "reason": dump["trigger"]["reason"],
+                "time": dump["trigger"]["time"],
+                "digest": dump_digest(dump),
+                "dumps": len(flightrec.dumps),
+            }
+        else:
+            record["flight_dump"] = None
     return record
 
 
@@ -205,6 +226,7 @@ def _build_grid(
     seed: int,
     recorder: "Optional[Recorder]" = None,
     profiling: bool = False,
+    flightrec: "Optional[FlightRecorder]" = None,
 ) -> Grid:
     builder = GridBuilder(seed=seed)
     for site in SITES:
@@ -214,6 +236,8 @@ def _build_grid(
         builder.with_monitors(recorder)
     if profiling:
         builder.with_profiling()
+    if flightrec is not None:
+        builder.with_probe(flightrec)
     return builder.build()
 
 
@@ -264,10 +288,21 @@ def run_campaigns(
     seed: int = 42,
     trials: int = 3,
     names: Optional[Sequence[str]] = None,
+    flightrec: bool = False,
+    dump_dir: "Optional[str]" = None,
 ) -> dict[str, Any]:
-    """Run the selected campaigns; returns the deterministic report."""
+    """Run the selected campaigns; returns the deterministic report.
+
+    ``flightrec=True`` flies a fresh black box per trial (each record
+    gains a ``flight_dump`` field; see :func:`run_trial`).  With
+    ``dump_dir``, each trial's first dump is written in canonical form
+    to ``DIR/<campaign>_<seed>.json`` and the record carries that file
+    name — the *name* only, so the report stays machine-independent.
+    """
     if trials < 1:
         raise ReproError(f"trials must be >= 1, got {trials!r}")
+    if dump_dir is not None and not flightrec:
+        raise ReproError("dump_dir requires flightrec=True")
     selected = list(names) if names else sorted(CAMPAIGNS)
     unknown = [name for name in selected if name not in CAMPAIGNS]
     if unknown:
@@ -284,9 +319,26 @@ def run_campaigns(
     }
     for name in selected:
         campaign = CAMPAIGNS[name]
-        records = [
-            run_trial(campaign, seed + index) for index in range(trials)
-        ]
+        records = []
+        for index in range(trials):
+            recorder = None
+            if flightrec:
+                from repro.obs.flightrec import FlightRecorder
+
+                recorder = FlightRecorder()
+            record = run_trial(campaign, seed + index, flightrec=recorder)
+            if (
+                dump_dir is not None
+                and recorder is not None
+                and recorder.dumps
+            ):
+                from repro.obs.flightrec import write_dump
+
+                filename = f"{name}_{seed + index}.json"
+                write_dump(recorder.dumps[0], Path(dump_dir) / filename)
+                assert record["flight_dump"] is not None
+                record["flight_dump"]["file"] = filename
+            records.append(record)
         successes = [r for r in records if r["success"]]
         modes: dict[str, int] = {}
         for record in records:

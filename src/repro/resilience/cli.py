@@ -7,6 +7,8 @@ Run the deterministic fault campaigns and inspect the catalogue::
     python -m repro.resilience run --seed 42 --trials 5 \\
         --campaign message_loss --campaign partition \\
         --out results/campaign_report.json
+    python -m repro.resilience run --campaign crash \\
+        --flightrec --dump-dir results/dumps
 
 ``run`` emits the campaign report in its canonical byte form (sorted
 keys, two-space indent, trailing newline): the same seed always
@@ -63,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
         "DIR/<campaign>.json plus a collapsed-stack DIR/<campaign>.collapsed "
         "(see python -m repro.prof)",
     )
+    run.add_argument(
+        "--flightrec", action="store_true",
+        help="fly a flight recorder per trial: records gain a "
+        "flight_dump field (see python -m repro.obs blackbox)",
+    )
+    run.add_argument(
+        "--dump-dir", default=None, metavar="DIR",
+        help="with --flightrec, write each trial's first dump to "
+        "DIR/<campaign>_<seed>.json in canonical form",
+    )
     return parser
 
 
@@ -78,9 +90,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{name:<{width}}  {CAMPAIGNS[name].description}")
         return 0
 
+    if args.dump_dir is not None and not args.flightrec:
+        parser.error("--dump-dir requires --flightrec")
     try:
         report = run_campaigns(
-            seed=args.seed, trials=args.trials, names=args.campaign
+            seed=args.seed,
+            trials=args.trials,
+            names=args.campaign,
+            flightrec=args.flightrec,
+            dump_dir=args.dump_dir,
         )
     except ReproError as exc:
         parser.error(str(exc))

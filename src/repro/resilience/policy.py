@@ -38,6 +38,7 @@ from repro.errors import (
 )
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.resilience.states import AttemptPhase, check_attempt_transition
+from repro.simcore.probe import emit
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.breaker import CircuitBreaker
@@ -246,6 +247,14 @@ class RetryEpisode:
         self._transition(AttemptPhase.EXHAUSTED)
         self.metrics.counter("resilience.exhausted_total").inc(
             operation=self.operation
+        )
+        emit(
+            self.env,
+            str(self.endpoint) if self.endpoint is not None else self.operation,
+            "resilience.retry_exhausted",
+            operation=self.operation,
+            attempts=self.attempt,
+            why=why,
         )
         raise RetryExhausted(
             f"{self.operation} failed after {self.attempt} attempt(s) "

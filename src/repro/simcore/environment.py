@@ -233,6 +233,12 @@ class Environment:
         if not event._ok and not event.defused:
             # An unhandled failure: surface it to the caller of run().
             exc = event.value
+            if self.probe is not None:
+                self.probe.event(
+                    "kernel",
+                    "process.unhandled",
+                    {"error": type(exc).__name__, "message": str(exc)},
+                )
             raise exc
 
     def run(self, until: "float | Event | None" = None) -> Any:

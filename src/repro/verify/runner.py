@@ -13,13 +13,16 @@ sweep is byte-identical across repeated runs of the same seed — the CI
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
 
 from repro.analysis.framework import Finding, Severity
 from repro.analysis.reporters import finding_payload, format_finding
 from repro.verify.events import EventLog, RunContext
 from repro.verify.monitors import Monitor, all_monitors, evaluate
 from repro.verify.recorder import Recorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.flightrec import FlightRecorder
 
 #: Example scenarios verifiable by name (quickstart *is* Figure 1).
 EXAMPLES = ("quickstart", "figure1")
@@ -31,8 +34,15 @@ def verify_recorder(
     monitors: Optional[Sequence[Monitor]] = None,
     select: Optional[Iterable[str]] = None,
     suppress: Optional[Iterable[str]] = None,
+    flightrec: "Optional[FlightRecorder]" = None,
 ) -> tuple[dict[str, Any], list[Finding]]:
-    """Evaluate one recorded run; returns (report entry, findings)."""
+    """Evaluate one recorded run; returns (report entry, findings).
+
+    When a :class:`~repro.obs.flightrec.FlightRecorder` that observed
+    the same run is passed, any finding trips it — the black box dumps
+    the run's last-N records under trigger ``verify.finding``, giving
+    the monitor report a post-mortem to point at.
+    """
     log = EventLog(recorder.events)
     ctx = RunContext(
         run_id=run_id,
@@ -43,6 +53,11 @@ def verify_recorder(
         monitors if monitors is not None else all_monitors(),
         log, ctx, select=select, suppress=suppress,
     )
+    if flightrec is not None and findings:
+        first = findings[0]
+        flightrec.trip(
+            f"{first.rule}: {first.message}", trigger="verify.finding"
+        )
     entry = {
         "run": run_id,
         "events": len(log),

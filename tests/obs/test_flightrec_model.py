@@ -1,0 +1,115 @@
+"""Property tests: flight-recorder rings against a reference model.
+
+``FlightRing`` is a hand-rolled preallocated ring chosen over
+``collections.deque(maxlen=N)`` for its O(1) slot reuse and explicit
+eviction counters; these properties pin its behaviour to the deque
+reference under arbitrary push/clear interleavings, and model the
+recorder's push/freeze/trip/resume lifecycle.
+"""
+
+import collections
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.flightrec import FlightRecorder, FlightRing
+
+# An op is either a pushed value (int) or one of the control verbs.
+_OPS = st.lists(
+    st.one_of(st.integers(), st.just("clear")),
+    max_size=200,
+)
+
+
+@given(capacity=st.integers(min_value=1, max_value=16), ops=_OPS)
+@settings(max_examples=200, deadline=None)
+def test_ring_matches_deque_reference(capacity, ops):
+    ring = FlightRing(capacity)
+    reference = collections.deque(maxlen=capacity)
+    pushed = 0
+    for op in ops:
+        if op == "clear":
+            ring.clear()
+            reference.clear()
+        else:
+            ring.push(op)
+            reference.append(op)
+            pushed += 1
+        assert ring.snapshot() == list(reference)
+        assert len(ring) == len(reference)
+    assert ring.pushed == pushed
+    assert ring.evicted >= 0
+    assert len(ring) <= capacity
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    ops=st.lists(
+        st.one_of(
+            st.just("event"),
+            st.just("freeze"),
+            st.just("resume"),
+            st.just("trip"),
+        ),
+        max_size=60,
+    ),
+)
+@settings(max_examples=100, deadline=None)
+def test_recorder_lifecycle_model(capacity, ops):
+    recorder = FlightRecorder(capacity=capacity, max_dumps=4, triggers=())
+    # Reference model: proto-ring contents plus the frozen flag.
+    reference = collections.deque(maxlen=capacity)
+    frozen = False
+    observed = 0
+    dumps = 0
+    for index, op in enumerate(ops):
+        if op == "event":
+            recorder.event("model", f"ev.{index}", {"i": index})
+            if not frozen:
+                reference.append(f"ev.{index}")
+                observed += 1
+        elif op == "freeze":
+            recorder.freeze()
+            frozen = True
+        elif op == "resume":
+            recorder.resume()
+            frozen = False
+        else:  # trip: freezes, captures, resumes
+            dump = recorder.trip(f"model trip {index}")
+            dumps += 1
+            frozen = False
+            if dumps <= 4:
+                assert dump is not None
+                names = [
+                    r["name"] for r in dump["records"]["proto"]
+                ]
+                assert names == list(reference)
+            else:
+                assert dump is None
+        assert recorder.frozen == frozen
+        assert (
+            [r.name for r in recorder.rings["proto"].snapshot()]
+            == list(reference)
+        )
+    assert recorder.records_observed == observed
+    assert len(recorder.dumps) == min(dumps, 4)
+    assert recorder.dumps_suppressed == max(0, dumps - 4)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    count=st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=100, deadline=None)
+def test_dump_reflects_last_capacity_events(capacity, count):
+    recorder = FlightRecorder(capacity=capacity, triggers=())
+    for index in range(count):
+        recorder.event("model", f"ev.{index}", {})
+    dump = recorder.trip("snapshot")
+    names = [r["name"] for r in dump["records"]["proto"]]
+    expected = [f"ev.{i}" for i in range(max(0, count - capacity), count)]
+    assert names == expected
+    counts = dump["counts"]["proto"]
+    assert counts["pushed"] == count
+    assert counts["live"] == len(expected)
+    assert counts["evicted"] == count - len(expected)
